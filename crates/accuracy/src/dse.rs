@@ -1,0 +1,114 @@
+//! Design-space exploration over `S` (shared patterns) and `H` (Huffman
+//! codebooks per pattern) — Figure 5 of the paper.
+
+use ecco_core::{EccoConfig, WeightCodec};
+use ecco_tensor::Tensor;
+
+use crate::layerstack::LayerStack;
+use crate::methods::{Method, MethodResult};
+use crate::perplexity::{llama2_7b_spec, PerplexityModel};
+
+/// One grid point of the exploration.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DsePoint {
+    /// Number of shared k-means patterns.
+    pub s: usize,
+    /// Codebooks per pattern.
+    pub h: usize,
+    /// Proxy perplexity on the LLaMA-2-7B stack.
+    pub ppl: f64,
+}
+
+/// The full exploration result.
+#[derive(Clone, Debug)]
+pub struct DseResult {
+    /// All grid points, row-major over `(s, h)`.
+    pub points: Vec<DsePoint>,
+    /// The AWQ reference line the paper plots.
+    pub awq_ppl: f64,
+}
+
+/// Sweeps the `(S, H)` grid on the LLaMA-2-7B layer stack.
+///
+/// `max_calibration_groups` trades fidelity for speed (the paper's plot
+/// uses the full calibration set; 512 groups reproduce its shape).
+pub fn design_space(
+    s_values: &[usize],
+    h_values: &[usize],
+    max_calibration_groups: usize,
+) -> DseResult {
+    let spec = llama2_7b_spec();
+    let stack = LayerStack::build(&spec);
+    let pm = PerplexityModel::calibrate();
+    // Three projections suffice: the S/H trade-off is a per-group
+    // statistic, so a subset estimates it tightly and keeps the full
+    // 8x9 grid interactive.
+    let eval: Vec<&(&'static str, Tensor)> = stack.weights.iter().take(3).collect();
+    let refs: Vec<&Tensor> = eval.iter().map(|(_, t)| t).collect();
+
+    let mut points = Vec::with_capacity(s_values.len() * h_values.len());
+    for &s in s_values {
+        for &h in h_values {
+            let cfg = EccoConfig {
+                num_patterns: s,
+                books_per_pattern: h,
+                max_calibration_groups,
+                ..EccoConfig::default()
+            };
+            let codec = WeightCodec::calibrate_aware(&refs, &stack.act_mags, &cfg);
+            let mut w_nmse = 0.0;
+            for (_, w) in &eval {
+                let (out, _) = codec.roundtrip(w);
+                w_nmse += stack.weighted_weight_nmse(w, &out);
+            }
+            w_nmse /= eval.len() as f64;
+            let ppl = pm.predict(
+                &spec,
+                &MethodResult {
+                    w_nmse,
+                    ..MethodResult::default()
+                },
+            );
+            points.push(DsePoint { s, h, ppl });
+        }
+    }
+
+    let awq_ppl = pm.predict(&spec, &Method::AwqW4.evaluate(&stack));
+    DseResult { points, awq_ppl }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn more_patterns_reduce_perplexity() {
+        let r = design_space(&[2, 16, 64], &[4], 256);
+        let p: Vec<f64> = r.points.iter().map(|p| p.ppl).collect();
+        assert!(p[0] > p[2], "S=2 ({}) must trail S=64 ({})", p[0], p[2]);
+    }
+
+    #[test]
+    fn h_effect_saturates() {
+        let r = design_space(&[16], &[1, 4, 16], 256);
+        let p: Vec<f64> = r.points.iter().map(|p| p.ppl).collect();
+        let gain_1_to_4 = p[0] - p[1];
+        let gain_4_to_16 = (p[1] - p[2]).max(0.0);
+        assert!(
+            gain_1_to_4 >= gain_4_to_16 - 5e-3,
+            "H gains must diminish: {p:?}"
+        );
+    }
+
+    #[test]
+    fn default_config_beats_awq_reference() {
+        // The paper's chosen (S=64, H=4) lands below the AWQ line.
+        let r = design_space(&[64], &[4], 512);
+        assert!(
+            r.points[0].ppl <= r.awq_ppl + 0.02,
+            "S=64,H=4 ppl {} vs AWQ {}",
+            r.points[0].ppl,
+            r.awq_ppl
+        );
+    }
+}

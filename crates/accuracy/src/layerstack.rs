@@ -1,0 +1,130 @@
+//! Synthetic per-model layer stacks for accuracy evaluation.
+
+use ecco_llm::ModelSpec;
+use ecco_tensor::{seed_for, synth::SynthSpec, Tensor, TensorKind};
+
+/// Representative tensors of one model: one weight tensor per projection
+/// kind, one activation tensor, and K/V cache tensors, all generated from
+/// the model-specific deterministic seeds.
+///
+/// Tensor dimensions are capped (`rows ≤ 256`, `cols ≤ 1024`) — NMSE is a
+/// per-group statistic, so a few thousand groups per tensor estimate it
+/// tightly while keeping the full Table 1 sweep interactive.
+#[derive(Clone, Debug)]
+pub struct LayerStack {
+    /// The model this stack represents.
+    pub model: ModelSpec,
+    /// `(name, tensor)` for q/k/v/o/gate/up/down projections.
+    pub weights: Vec<(&'static str, Tensor)>,
+    /// A layer-input activation tensor.
+    pub activations: Tensor,
+    /// Key-cache tensor.
+    pub k_cache: Tensor,
+    /// Value-cache tensor.
+    pub v_cache: Tensor,
+    /// Mean |activation| per input channel (AWQ / SmoothQuant input).
+    pub act_mags: Vec<f32>,
+}
+
+/// Projection names in the order of the paper's Figure 10.
+pub const PROJ_NAMES: [&str; 7] = [
+    "q_proj", "k_proj", "v_proj", "o_proj", "gate_proj", "up_proj", "down_proj",
+];
+
+impl LayerStack {
+    /// Builds the stack for `model`.
+    pub fn build(model: &ModelSpec) -> LayerStack {
+        let cols = model.hidden.min(1024);
+        let rows = 256usize;
+
+        let weights: Vec<(&'static str, Tensor)> = PROJ_NAMES
+            .iter()
+            .map(|&name| {
+                let spec = SynthSpec::for_kind(TensorKind::Weight, rows, cols)
+                    .seeded(seed_for(&model.name, 0, name));
+                (name, spec.generate())
+            })
+            .collect();
+
+        let activations = SynthSpec::for_kind(TensorKind::Activation, rows, cols)
+            .seeded(seed_for(&model.name, 0, "activations"))
+            .generate();
+        let k_cache = SynthSpec::for_kind(TensorKind::KCache, rows, cols)
+            .seeded(seed_for(&model.name, 0, "k_cache"))
+            .generate();
+        let v_cache = SynthSpec::for_kind(TensorKind::VCache, rows, cols)
+            .seeded(seed_for(&model.name, 0, "v_cache"))
+            .generate();
+
+        let mut act_mags = vec![0f32; cols];
+        for r in 0..activations.rows() {
+            for (c, m) in act_mags.iter_mut().enumerate() {
+                *m += activations.get(r, c).abs() / activations.rows() as f32;
+            }
+        }
+
+        LayerStack {
+            model: model.clone(),
+            weights,
+            activations,
+            k_cache,
+            v_cache,
+            act_mags,
+        }
+    }
+
+    /// Activation-weighted NMSE between a weight tensor and its
+    /// reconstruction: `Σ mag²(w−ŵ)² / Σ mag² w²`. This is the error that
+    /// propagates into layer outputs (activations enter the matmul
+    /// linearly), and the metric under which AWQ's channel protection is
+    /// visible.
+    pub fn weighted_weight_nmse(&self, original: &Tensor, reconstructed: &Tensor) -> f64 {
+        let cols = original.cols();
+        let mut num = 0f64;
+        let mut den = 0f64;
+        for (i, (&a, &b)) in original
+            .data()
+            .iter()
+            .zip(reconstructed.data())
+            .enumerate()
+        {
+            let m = self.act_mags[i % cols] as f64;
+            num += m * m * ((a - b) as f64).powi(2);
+            den += m * m * (a as f64).powi(2);
+        }
+        if den == 0.0 {
+            0.0
+        } else {
+            num / den
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stack_has_all_tensors() {
+        let s = LayerStack::build(&ModelSpec::llama_7b());
+        assert_eq!(s.weights.len(), 7);
+        assert_eq!(s.act_mags.len(), 1024);
+        assert!(s.k_cache.len() % 128 == 0);
+    }
+
+    #[test]
+    fn stacks_are_deterministic_and_model_specific() {
+        let a = LayerStack::build(&ModelSpec::llama_7b());
+        let b = LayerStack::build(&ModelSpec::llama_7b());
+        let c = LayerStack::build(&ModelSpec::llama_13b());
+        assert_eq!(a.weights[0].1.data(), b.weights[0].1.data());
+        assert_ne!(a.weights[0].1.data(), c.weights[0].1.data());
+    }
+
+    #[test]
+    fn weighted_nmse_zero_for_identity() {
+        let s = LayerStack::build(&ModelSpec::mistral_7b());
+        let w = &s.weights[0].1;
+        assert_eq!(s.weighted_weight_nmse(w, w), 0.0);
+    }
+}

@@ -1,0 +1,31 @@
+//! Accuracy-evaluation harness: measured reconstruction errors → proxy
+//! perplexity and zero-shot accuracy (substitutions S2/S3 in `DESIGN.md`).
+//!
+//! The paper evaluates WikiText-2 perplexity and lm_eval zero-shot tasks
+//! on real checkpoints. This harness replaces the language-model forward
+//! pass with a two-stage pipeline whose *first* stage is fully measured
+//! and whose *second* stage is a calibrated monotone map:
+//!
+//! 1. **Measured**: every quantization method is run on a synthetic layer
+//!    stack for each model ([`LayerStack`]), producing activation-weighted
+//!    weight NMSE plus activation and KV NMSE. All orderings between
+//!    methods come from this stage.
+//! 2. **Calibrated**: `ppl = ppl_fp16 · exp(α·NMSEw + β·(NMSEa + NMSEkv))`
+//!    with `(α, β)` fitted **once** against two anchor rows of the paper's
+//!    Table 1 (AWQ W4A16 and AWQ W4A8KV4 on LLaMA-2-7B) and then frozen
+//!    for every other model and method. FP16 perplexities are the
+//!    published reference constants.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dse;
+pub mod layerstack;
+pub mod methods;
+pub mod perplexity;
+pub mod zeroshot;
+
+pub use layerstack::LayerStack;
+pub use methods::{Method, MethodResult};
+pub use perplexity::{fp16_wikitext_ppl, PerplexityModel};
+pub use zeroshot::{zero_shot_table, ZeroShotModel};

@@ -1,0 +1,179 @@
+//! Proxy perplexity (substitution S2) and the Table 1 driver.
+
+use ecco_llm::ModelSpec;
+
+use crate::layerstack::LayerStack;
+use crate::methods::{Method, MethodResult};
+
+/// Published FP16 WikiText-2 perplexities (sequence length 2048) — the
+/// reference constants of Table 1's FP16 row.
+pub fn fp16_wikitext_ppl(model: &ModelSpec) -> f64 {
+    match model.name.as_str() {
+        "LLaMA-7B" => 5.68,
+        "LLaMA-13B" => 5.09,
+        "LLaMA-30B" => 4.10,
+        "LLaMA2-7B" => 5.47,
+        "LLaMA2-13B" => 4.88,
+        "LLaMA2-70B" => 3.32,
+        "Mistral-7B" => 5.25,
+        _ => 5.5,
+    }
+}
+
+/// The calibrated monotone map from measured errors to perplexity.
+///
+/// `ppl = ppl_fp16 · exp(α·w_nmse + β·(act_nmse + kv_nmse))`. The two
+/// coefficients are fitted once against two anchor rows of the published
+/// Table 1 (AWQ on LLaMA-2-7B in both precision groups) and frozen; all
+/// orderings and gaps between methods then follow from the *measured*
+/// NMSEs.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PerplexityModel {
+    /// Sensitivity to activation-weighted weight error.
+    pub alpha: f64,
+    /// Sensitivity to activation + KV error.
+    pub beta: f64,
+}
+
+impl PerplexityModel {
+    /// Fits `(α, β)` on the LLaMA-2-7B anchors:
+    /// AWQ W4A16 published 5.60 (FP16 5.47) pins α;
+    /// AWQ W4A8KV4 published 5.83 pins β given α.
+    pub fn calibrate() -> PerplexityModel {
+        let anchor = llama2_7b_spec();
+        let stack = LayerStack::build(&anchor);
+        let fp16 = 5.47f64;
+
+        let w4a16 = Method::AwqW4.evaluate(&stack);
+        let alpha = (5.60f64 / fp16).ln() / w4a16.w_nmse.max(1e-12);
+
+        let w4a8kv4 = Method::AwqW4A8Kv4.evaluate(&stack);
+        let residual = (5.83f64 / fp16).ln() - alpha * w4a8kv4.w_nmse;
+        let beta = residual.max(0.0) / (w4a8kv4.act_nmse + w4a8kv4.kv_nmse).max(1e-12);
+
+        PerplexityModel { alpha, beta }
+    }
+
+    /// Predicts perplexity for a method result on a model.
+    pub fn predict(&self, model: &ModelSpec, r: &MethodResult) -> f64 {
+        fp16_wikitext_ppl(model)
+            * (self.alpha * r.w_nmse + self.beta * (r.act_nmse + r.kv_nmse)).exp()
+    }
+}
+
+/// LLaMA-2 shares the LLaMA backbone at 7B/13B; Table 1 distinguishes the
+/// checkpoints, so the stacks get distinct names (hence distinct seeds).
+pub fn llama2_7b_spec() -> ModelSpec {
+    ModelSpec {
+        name: "LLaMA2-7B".into(),
+        ..ModelSpec::llama_7b()
+    }
+}
+
+/// LLaMA-2-13B spec (same backbone as LLaMA-13B, separate checkpoint).
+pub fn llama2_13b_spec() -> ModelSpec {
+    ModelSpec {
+        name: "LLaMA2-13B".into(),
+        ..ModelSpec::llama_13b()
+    }
+}
+
+/// One row of the regenerated Table 1.
+#[derive(Clone, Debug)]
+pub struct Table1Row {
+    /// Precision group label ("W4A16 g128" or "W4A8KV4 g128").
+    pub group: &'static str,
+    /// Method name.
+    pub method: &'static str,
+    /// Predicted perplexity per model, in column order.
+    pub ppl: Vec<f64>,
+}
+
+/// The Table 1 model columns, in the paper's order.
+pub fn table1_models() -> Vec<ModelSpec> {
+    vec![
+        ModelSpec::llama_7b(),
+        ModelSpec::llama_13b(),
+        ModelSpec::llama_30b(),
+        llama2_7b_spec(),
+        llama2_13b_spec(),
+        ModelSpec::llama2_70b(),
+        ModelSpec::mistral_7b(),
+    ]
+}
+
+/// Regenerates Table 1: FP16 row plus both precision groups.
+pub fn table1() -> Vec<Table1Row> {
+    let pm = PerplexityModel::calibrate();
+    let models = table1_models();
+    let stacks: Vec<LayerStack> = models.iter().map(LayerStack::build).collect();
+
+    let mut rows = vec![Table1Row {
+        group: "FP16",
+        method: "-",
+        ppl: models.iter().map(fp16_wikitext_ppl).collect(),
+    }];
+    for m in Method::w4a16_rows() {
+        rows.push(Table1Row {
+            group: "W4A16 g128",
+            method: m.name(),
+            ppl: stacks
+                .iter()
+                .zip(&models)
+                .map(|(s, spec)| pm.predict(spec, &m.evaluate(s)))
+                .collect(),
+        });
+    }
+    for m in Method::w4a8kv4_rows() {
+        rows.push(Table1Row {
+            group: "W4A8KV4 g128",
+            method: m.name(),
+            ppl: stacks
+                .iter()
+                .zip(&models)
+                .map(|(s, spec)| pm.predict(spec, &m.evaluate(s)))
+                .collect(),
+        });
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_reproduces_anchors() {
+        let pm = PerplexityModel::calibrate();
+        let stack = LayerStack::build(&llama2_7b_spec());
+        let a = pm.predict(&llama2_7b_spec(), &Method::AwqW4.evaluate(&stack));
+        assert!((a - 5.60).abs() < 0.02, "W4A16 anchor: {a}");
+        let b = pm.predict(&llama2_7b_spec(), &Method::AwqW4A8Kv4.evaluate(&stack));
+        assert!((b - 5.83).abs() < 0.02, "W4A8KV4 anchor: {b}");
+    }
+
+    #[test]
+    fn predictions_exceed_fp16() {
+        let pm = PerplexityModel::calibrate();
+        let spec = llama2_13b_spec();
+        let stack = LayerStack::build(&spec);
+        for m in Method::w4a8kv4_rows() {
+            let p = pm.predict(&spec, &m.evaluate(&stack));
+            assert!(p > fp16_wikitext_ppl(&spec), "{}: {p}", m.name());
+            assert!(p < fp16_wikitext_ppl(&spec) * 1.3, "{}: {p} diverged", m.name());
+        }
+    }
+
+    #[test]
+    fn ecco_deltas_in_paper_range() {
+        // Paper: Ecco W4A16 average delta ~0.10 over FP16; W4A8KV4
+        // deltas ~0.12-0.2. Check the same order of magnitude.
+        let pm = PerplexityModel::calibrate();
+        let spec = llama2_7b_spec();
+        let stack = LayerStack::build(&spec);
+        let d16 = pm.predict(&spec, &Method::EccoW4.evaluate(&stack)) - 5.47;
+        let d4 = pm.predict(&spec, &Method::EccoW4A8Kv4.evaluate(&stack)) - 5.47;
+        assert!(d16 > 0.0 && d16 < 0.35, "W4A16 delta {d16}");
+        assert!(d4 > d16 && d4 < 0.5, "W4A8KV4 delta {d4}");
+    }
+}

@@ -1,0 +1,153 @@
+//! AWQ: activation-aware weight quantization (Lin et al., 2024).
+//!
+//! AWQ observes that the ~1% of weight channels multiplied by large
+//! activations matter most, and protects them by scaling channels up
+//! before group quantization (and back down after). The scale exponent α
+//! is grid-searched against the *activation-weighted* reconstruction
+//! error, exactly like the original's `auto_scale` search.
+
+use ecco_tensor::Tensor;
+
+use crate::uniform::{rtn_quantize, Granularity};
+
+/// The AWQ weight quantizer (W4 g128 by default).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Awq {
+    bits: u32,
+    group: usize,
+}
+
+impl Awq {
+    /// Creates an AWQ quantizer with the given bit width and group size.
+    pub fn new(bits: u32, group: usize) -> Awq {
+        Awq { bits, group }
+    }
+
+    /// The paper's configuration: 4-bit, group 128.
+    pub fn w4_g128() -> Awq {
+        Awq::new(4, 128)
+    }
+
+    /// Quantize–dequantize `weights` given per-input-channel activation
+    /// magnitudes (`act_mags[j]` = mean |activation| of column `j`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `act_mags.len() != weights.cols()`.
+    pub fn quantize(&self, weights: &Tensor, act_mags: &[f32]) -> Tensor {
+        assert_eq!(act_mags.len(), weights.cols(), "one magnitude per column");
+        let mean_mag = (act_mags.iter().map(|&m| m as f64).sum::<f64>()
+            / act_mags.len() as f64)
+            .max(1e-12) as f32;
+
+        let mut best: Option<(f64, Tensor)> = None;
+        // α grid as in the reference implementation (0.0..1.0 in 20 steps
+        // would be slow here; 11 steps loses nothing measurable).
+        for step in 0..=10 {
+            let alpha = step as f32 / 10.0;
+            let scales: Vec<f32> = act_mags
+                .iter()
+                .map(|&m| ((m / mean_mag).max(1e-4)).powf(alpha).clamp(1e-3, 1e3))
+                .collect();
+            let candidate = self.quantize_with_scales(weights, &scales);
+            let err = weighted_sq_error(weights, &candidate, act_mags);
+            if best.as_ref().is_none_or(|(e, _)| err < *e) {
+                best = Some((err, candidate));
+            }
+        }
+        best.expect("grid is non-empty").1
+    }
+
+    /// One quantization pass under fixed channel scales.
+    fn quantize_with_scales(&self, weights: &Tensor, scales: &[f32]) -> Tensor {
+        let cols = weights.cols();
+        let mut scaled = weights.clone();
+        for (i, x) in scaled.data_mut().iter_mut().enumerate() {
+            *x *= scales[i % cols];
+        }
+        let mut q = rtn_quantize(&scaled, self.bits, Granularity::PerGroup(self.group));
+        for (i, x) in q.data_mut().iter_mut().enumerate() {
+            *x = ecco_numerics::round_f16(*x / scales[i % cols]);
+        }
+        q
+    }
+
+    /// Average stored bits per weight including FP16 scale + zero point
+    /// per group.
+    pub fn bits_per_value(&self) -> f64 {
+        self.bits as f64 + 32.0 / self.group as f64
+    }
+}
+
+/// Σ over elements of `mag_j² (a - b)²` — the output-error proxy AWQ
+/// optimizes (activations enter the matmul linearly, so column error
+/// scales with activation magnitude).
+fn weighted_sq_error(a: &Tensor, b: &Tensor, act_mags: &[f32]) -> f64 {
+    let cols = a.cols();
+    a.data()
+        .iter()
+        .zip(b.data())
+        .enumerate()
+        .map(|(i, (&x, &y))| {
+            let w = act_mags[i % cols] as f64;
+            w * w * ((x - y) as f64).powi(2)
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecco_tensor::{stats::nmse, synth::SynthSpec, TensorKind};
+
+    fn setup() -> (Tensor, Vec<f32>) {
+        let w = SynthSpec::for_kind(TensorKind::Weight, 32, 512).seeded(41).generate();
+        // Activation magnitudes with a few dominant channels.
+        let a = SynthSpec::for_kind(TensorKind::Activation, 64, 512).seeded(42).generate();
+        let mut mags = vec![0f32; 512];
+        for r in 0..a.rows() {
+            for (c, m) in mags.iter_mut().enumerate() {
+                *m += a.get(r, c).abs() / a.rows() as f32;
+            }
+        }
+        (w, mags)
+    }
+
+    #[test]
+    fn awq_beats_plain_rtn_on_weighted_error() {
+        let (w, mags) = setup();
+        let awq = Awq::w4_g128().quantize(&w, &mags);
+        let rtn = rtn_quantize(&w, 4, Granularity::PerGroup(128));
+        let e_awq = super::weighted_sq_error(&w, &awq, &mags);
+        let e_rtn = super::weighted_sq_error(&w, &rtn, &mags);
+        assert!(
+            e_awq <= e_rtn,
+            "AWQ weighted error {e_awq} must not exceed RTN {e_rtn}"
+        );
+    }
+
+    #[test]
+    fn awq_reconstruction_reasonable() {
+        let (w, mags) = setup();
+        let q = Awq::w4_g128().quantize(&w, &mags);
+        let e = nmse(&w, &q);
+        // AWQ optimizes the activation-weighted error, so the unweighted
+        // NMSE may exceed plain RTN's; it must still be 4-bit quality.
+        assert!(e < 0.05, "AWQ NMSE {e}");
+    }
+
+    #[test]
+    fn uniform_activations_reduce_to_rtn() {
+        let (w, _) = setup();
+        let mags = vec![1.0f32; 512];
+        let q = Awq::w4_g128().quantize(&w, &mags);
+        let rtn = rtn_quantize(&w, 4, Granularity::PerGroup(128));
+        // With all scales equal the best α is irrelevant: same result.
+        assert!((nmse(&w, &q) - nmse(&w, &rtn)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bits_accounting() {
+        assert!((Awq::w4_g128().bits_per_value() - 4.25).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,127 @@
+//! GPTQ-R proxy: per-group clip search plus sequential error compensation.
+//!
+//! Full GPTQ propagates quantization error through the inverse Hessian of
+//! the layer inputs. Without real calibration activations the Hessian is
+//! near-diagonal, under which GPTQ reduces to (a) an optimal clipping
+//! search per group and (b) compensating each element's rounding error on
+//! its not-yet-quantized neighbours. Both are implemented here; the result
+//! sits between RTN and AWQ in reconstruction quality, matching the
+//! ordering of Table 1 (GPTQ-R 5.83 vs AWQ 5.78 vs RTN-class 6.x on
+//! LLaMA-7B).
+
+use ecco_tensor::Tensor;
+
+/// The GPTQ-R-style weight quantizer.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Gptq {
+    bits: u32,
+    group: usize,
+    /// Fraction of rounding error fed forward to the next element
+    /// (diagonal-Hessian compensation strength).
+    damp: f32,
+}
+
+impl Gptq {
+    /// Creates a quantizer with the given precision and group size.
+    pub fn new(bits: u32, group: usize) -> Gptq {
+        Gptq {
+            bits,
+            group,
+            damp: 0.35,
+        }
+    }
+
+    /// The paper's configuration: 4-bit, group 128.
+    pub fn w4_g128() -> Gptq {
+        Gptq::new(4, 128)
+    }
+
+    /// Quantize–dequantize `weights`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the group size does not divide the row length.
+    pub fn quantize(&self, weights: &Tensor) -> Tensor {
+        assert!(
+            self.group > 0 && weights.cols().is_multiple_of(self.group),
+            "group must divide row length"
+        );
+        let levels = ((1u32 << self.bits) - 1) as f32;
+        let mut out = weights.clone();
+        for group in out.data_mut().chunks_mut(self.group) {
+            // (a) clip search: shrink the range to trade clipping error for
+            // resolution, GPTQ/min-max-clip style.
+            let (mut lo, mut hi) = (f32::INFINITY, f32::NEG_INFINITY);
+            for &x in group.iter() {
+                lo = lo.min(x);
+                hi = hi.max(x);
+            }
+            if hi <= lo {
+                continue;
+            }
+            let mut best: Option<(f64, f32, f32)> = None;
+            for clip in [1.0f32, 0.95, 0.9, 0.85, 0.8] {
+                let mid = 0.5 * (lo + hi);
+                let half = 0.5 * (hi - lo) * clip;
+                let (clo, chi) = (mid - half, mid + half);
+                let scale = (chi - clo) / levels;
+                let err: f64 = group
+                    .iter()
+                    .map(|&x| {
+                        let q = ((x - clo) / scale).round().clamp(0.0, levels);
+                        ((x - (clo + q * scale)) as f64).powi(2)
+                    })
+                    .sum();
+                if best.is_none_or(|(e, _, _)| err < e) {
+                    best = Some((err, clo, scale));
+                }
+            }
+            let (_, clo, scale) = best.expect("clip grid non-empty");
+
+            // (b) sequential quantization with error feed-forward.
+            let mut carry = 0f32;
+            for x in group.iter_mut() {
+                let target = *x + carry;
+                let q = ((target - clo) / scale).round().clamp(0.0, levels);
+                let deq = ecco_numerics::round_f16(clo + q * scale);
+                carry = (target - deq) * self.damp;
+                *x = deq;
+            }
+        }
+        out
+    }
+
+    /// Average stored bits per weight including group metadata.
+    pub fn bits_per_value(&self) -> f64 {
+        self.bits as f64 + 32.0 / self.group as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::uniform::{rtn_quantize, Granularity};
+    use ecco_tensor::{stats::nmse, synth::SynthSpec, TensorKind};
+
+    #[test]
+    fn gptq_beats_plain_rtn() {
+        let w = SynthSpec::for_kind(TensorKind::Weight, 32, 512).seeded(51).generate();
+        let e_gptq = nmse(&w, &Gptq::w4_g128().quantize(&w));
+        let e_rtn = nmse(&w, &rtn_quantize(&w, 4, Granularity::PerChannel));
+        assert!(e_gptq < e_rtn, "GPTQ {e_gptq} must beat per-channel RTN {e_rtn}");
+    }
+
+    #[test]
+    fn reconstruction_reasonable() {
+        let w = SynthSpec::for_kind(TensorKind::Weight, 32, 512).seeded(52).generate();
+        let e = nmse(&w, &Gptq::w4_g128().quantize(&w));
+        assert!(e < 0.02, "GPTQ NMSE {e}");
+    }
+
+    #[test]
+    fn shape_preserved() {
+        let w = SynthSpec::for_kind(TensorKind::Weight, 16, 256).seeded(53).generate();
+        let q = Gptq::w4_g128().quantize(&w);
+        assert_eq!((q.rows(), q.cols()), (16, 256));
+    }
+}

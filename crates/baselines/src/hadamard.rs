@@ -1,0 +1,147 @@
+//! Randomized fast Walsh–Hadamard transform, the rotation primitive of
+//! QuaRot.
+//!
+//! `y = H·(s ⊙ x)/√n` with random signs `s` spreads outlier energy across
+//! the whole block, making the distribution nearly Gaussian; the inverse is
+//! the same transform (Hadamard matrices are involutive up to scale).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A randomized Hadamard rotation over blocks of size `n` (power of two).
+#[derive(Clone, Debug)]
+pub struct RandomHadamard {
+    n: usize,
+    signs: Vec<f32>,
+}
+
+impl RandomHadamard {
+    /// Creates a rotation for block size `n` with signs drawn from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a power of two or is zero.
+    pub fn new(n: usize, seed: u64) -> RandomHadamard {
+        assert!(n.is_power_of_two(), "Hadamard size must be a power of two");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let signs = (0..n)
+            .map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 })
+            .collect();
+        RandomHadamard { n, signs }
+    }
+
+    /// Block size.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Returns `true` if the block size is zero (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Applies the forward rotation to one block in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block.len() != n`.
+    pub fn forward(&self, block: &mut [f32]) {
+        assert_eq!(block.len(), self.n);
+        for (x, &s) in block.iter_mut().zip(&self.signs) {
+            *x *= s;
+        }
+        fwht(block);
+        let norm = 1.0 / (self.n as f32).sqrt();
+        for x in block.iter_mut() {
+            *x *= norm;
+        }
+    }
+
+    /// Applies the inverse rotation to one block in place.
+    pub fn inverse(&self, block: &mut [f32]) {
+        assert_eq!(block.len(), self.n);
+        fwht(block);
+        let norm = 1.0 / (self.n as f32).sqrt();
+        for (x, &s) in block.iter_mut().zip(&self.signs) {
+            *x = *x * norm * s;
+        }
+    }
+}
+
+/// In-place fast Walsh–Hadamard transform (unnormalized).
+fn fwht(data: &mut [f32]) {
+    let n = data.len();
+    let mut h = 1;
+    while h < n {
+        for i in (0..n).step_by(h * 2) {
+            for j in i..i + h {
+                let (a, b) = (data[j], data[j + h]);
+                data[j] = a + b;
+                data[j + h] = a - b;
+            }
+        }
+        h *= 2;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn forward_inverse_roundtrip() {
+        let rot = RandomHadamard::new(8, 42);
+        let orig: Vec<f32> = (0..8).map(|i| i as f32 - 3.5).collect();
+        let mut x = orig.clone();
+        rot.forward(&mut x);
+        rot.inverse(&mut x);
+        for (a, b) in orig.iter().zip(&x) {
+            assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn energy_is_preserved() {
+        let rot = RandomHadamard::new(128, 7);
+        let orig: Vec<f32> = (0..128).map(|i| ((i * 31 % 97) as f32 - 48.0) / 10.0).collect();
+        let mut x = orig.clone();
+        rot.forward(&mut x);
+        let e0: f64 = orig.iter().map(|&v| (v as f64).powi(2)).sum();
+        let e1: f64 = x.iter().map(|&v| (v as f64).powi(2)).sum();
+        assert!((e0 - e1).abs() / e0 < 1e-5);
+    }
+
+    #[test]
+    fn outlier_energy_is_spread() {
+        // A single spike becomes near-uniform magnitude after rotation —
+        // the property QuaRot relies on.
+        let rot = RandomHadamard::new(128, 3);
+        let mut x = vec![0f32; 128];
+        x[17] = 128.0;
+        rot.forward(&mut x);
+        let max = x.iter().fold(0f32, |m, &v| m.max(v.abs()));
+        // Spike of 128 spreads to ±128/√128 ≈ ±11.3 per element.
+        assert!(max < 12.0, "max after rotation {max}");
+        assert!(x.iter().all(|&v| v.abs() > 11.0), "uniform spread expected");
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        RandomHadamard::new(100, 0);
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_random(vals in prop::collection::vec(-10.0f32..10.0, 64)) {
+            let rot = RandomHadamard::new(64, 9);
+            let mut x = vals.clone();
+            rot.forward(&mut x);
+            rot.inverse(&mut x);
+            for (a, b) in vals.iter().zip(&x) {
+                prop_assert!((a - b).abs() < 1e-4);
+            }
+        }
+    }
+}

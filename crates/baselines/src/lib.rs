@@ -1,0 +1,36 @@
+//! Baseline quantizers the paper compares Ecco against (Tables 1, 2, 4).
+//!
+//! Every method is implemented from scratch as a quantize–dequantize
+//! transform over [`ecco_tensor::Tensor`], so reconstruction error is
+//! *measured*, not assumed. The accuracy harness combines per-tensor-kind
+//! errors into the proxy-perplexity model (substitution S2 in `DESIGN.md`).
+//!
+//! | Method | Idea reproduced |
+//! |--------|-----------------|
+//! | [`rtn_quantize`] | plain round-to-nearest uniform quantization at tensor/channel/group granularity |
+//! | [`Awq`] | activation-aware per-channel scaling with grid-searched α before group quantization |
+//! | [`Gptq`] | sequential column quantization with in-group error compensation (GPTQ-R proxy) |
+//! | [`Olive`] | outlier–victim pair encoding: victims zeroed, outliers get wide-range 8-bit floats |
+//! | [`Quarot`] | randomized Hadamard rotation to suppress outliers before low-bit quantization |
+//! | [`SmoothQuant`] | α-smoothing that migrates activation outliers into weights, then W8A8 |
+//! | [`Qoq`] | two-level progressive quantization (8-bit channel scale → 4-bit group) |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod awq;
+pub mod gptq;
+pub mod hadamard;
+pub mod olive;
+pub mod qoq;
+pub mod quarot;
+pub mod smooth;
+pub mod uniform;
+
+pub use awq::Awq;
+pub use gptq::Gptq;
+pub use olive::Olive;
+pub use qoq::Qoq;
+pub use quarot::Quarot;
+pub use smooth::SmoothQuant;
+pub use uniform::{rtn_quantize, Granularity};

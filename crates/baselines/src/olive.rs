@@ -1,0 +1,116 @@
+//! OliVe: outlier–victim pair quantization (Guo et al., ISCA 2023).
+//!
+//! OliVe keeps tensors at 4 bits by giving outliers the encoding slot of
+//! their (pruned) neighbour: the *victim*. Outliers get a wide-range
+//! "adaptive bias float" (here FP8 E4M3 under a power-of-two scale), the
+//! victim becomes zero, and all normal values use a symmetric int grid
+//! whose scale ignores the outliers. The victim pruning plus the coarse
+//! normal grid are exactly why OliVe trails AWQ in Table 1.
+
+use ecco_numerics::{F8E4M3, Po2Scale};
+use ecco_tensor::Tensor;
+
+/// The OliVe-style quantizer.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Olive {
+    bits: u32,
+    /// Quantile of |value| that separates normals from outliers.
+    outlier_quantile: f32,
+}
+
+impl Olive {
+    /// Creates a quantizer at the given bit width; outliers are the top
+    /// (1 − quantile) fraction of magnitudes per row.
+    pub fn new(bits: u32) -> Olive {
+        Olive {
+            bits,
+            outlier_quantile: 0.99,
+        }
+    }
+
+    /// Quantize–dequantize one tensor, per-row grids.
+    pub fn quantize(&self, weights: &Tensor) -> Tensor {
+        let levels_half = ((1u32 << (self.bits - 1)) - 1) as f32; // symmetric grid
+        let cols = weights.cols();
+        let mut out = weights.clone();
+        for row in out.data_mut().chunks_mut(cols) {
+            // Normal-range scale from the outlier quantile.
+            let mut mags: Vec<f32> = row.iter().map(|x| x.abs()).collect();
+            mags.sort_by(f32::total_cmp);
+            let q_idx =
+                ((mags.len() as f32 * self.outlier_quantile) as usize).min(mags.len() - 1);
+            let normal_max = mags[q_idx].max(1e-12);
+            let scale = normal_max / levels_half;
+            let outlier_scale = Po2Scale::for_absmax(mags[mags.len() - 1], F8E4M3::MAX_FINITE);
+
+            let mut i = 0;
+            while i < row.len() {
+                let x = row[i];
+                if x.abs() > normal_max {
+                    // Outlier: wide-range 8-bit float, victim pruned.
+                    let f8 = F8E4M3::from_f32(outlier_scale.compress(x));
+                    row[i] = ecco_numerics::round_f16(outlier_scale.expand(f8.to_f32()));
+                    let victim = if i + 1 < row.len() { i + 1 } else { i - 1 };
+                    row[victim] = 0.0;
+                    i += 2;
+                } else {
+                    let q = (x / scale).round().clamp(-levels_half - 1.0, levels_half);
+                    row[i] = ecco_numerics::round_f16(q * scale);
+                    i += 1;
+                }
+            }
+        }
+        out
+    }
+
+    /// Average stored bits per value (outlier+victim pairs reuse the
+    /// victim's slot, so the rate stays at `bits`).
+    pub fn bits_per_value(&self) -> f64 {
+        self.bits as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::awq::Awq;
+    use ecco_tensor::{stats::nmse, synth::SynthSpec, TensorKind};
+
+    #[test]
+    fn outliers_survive_with_wide_range() {
+        let mut data = vec![0.01f32; 256];
+        data[7] = 50.0;
+        let t = Tensor::from_vec(1, 256, data);
+        let q = Olive::new(4).quantize(&t);
+        assert!((q.get(0, 7) - 50.0).abs() / 50.0 < 0.07, "outlier {}", q.get(0, 7));
+    }
+
+    #[test]
+    fn victim_is_pruned() {
+        let mut data = vec![0.01f32; 256];
+        data[7] = 50.0;
+        let t = Tensor::from_vec(1, 256, data);
+        let q = Olive::new(4).quantize(&t);
+        assert_eq!(q.get(0, 8), 0.0, "victim next to the outlier must be zero");
+    }
+
+    #[test]
+    fn olive_worse_than_awq_on_weights() {
+        // Table 1 ordering: OliVe trails AWQ at W4.
+        let w = SynthSpec::for_kind(TensorKind::Weight, 32, 512).seeded(61).generate();
+        let mags = vec![1.0f32; 512];
+        let e_olive = nmse(&w, &Olive::new(4).quantize(&w));
+        let e_awq = nmse(&w, &Awq::w4_g128().quantize(&w, &mags));
+        assert!(
+            e_olive > e_awq,
+            "OliVe NMSE {e_olive} expected above AWQ {e_awq}"
+        );
+    }
+
+    #[test]
+    fn reconstruction_not_catastrophic() {
+        let w = SynthSpec::for_kind(TensorKind::Weight, 32, 512).seeded(62).generate();
+        let e = nmse(&w, &Olive::new(4).quantize(&w));
+        assert!(e < 0.05, "OliVe NMSE {e}");
+    }
+}

@@ -1,0 +1,102 @@
+//! QuaRot: outlier-free 4-bit inference in rotated space (Ashkboos et al.,
+//! 2024).
+//!
+//! QuaRot multiplies weights/activations/KV by randomized Hadamard
+//! matrices so outlier energy spreads across channels, then applies plain
+//! low-bit quantization in the rotated basis. The runtime cost of those
+//! rotations is what Figure 3 of the Ecco paper measures; the accuracy
+//! benefit is what Table 1 shows. Both sides are reproduced: this module
+//! provides the accuracy transform, `ecco-sim` charges the rotation FLOPs.
+
+use ecco_tensor::Tensor;
+
+use crate::hadamard::RandomHadamard;
+use crate::uniform::{rtn_quantize, Granularity};
+
+/// The QuaRot quantizer (rotation block 128, configurable precision).
+#[derive(Clone, Debug)]
+pub struct Quarot {
+    bits: u32,
+    group: usize,
+    rotation: RandomHadamard,
+}
+
+impl Quarot {
+    /// Creates a QuaRot quantizer with a 128-wide randomized Hadamard
+    /// rotation.
+    pub fn new(bits: u32, group: usize, seed: u64) -> Quarot {
+        Quarot {
+            bits,
+            group,
+            rotation: RandomHadamard::new(128, seed),
+        }
+    }
+
+    /// The W4 configuration used in Table 1.
+    pub fn w4_g128() -> Quarot {
+        Quarot::new(4, 128, 0x0A07)
+    }
+
+    /// Quantize–dequantize in rotated space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cols` is not a multiple of the 128-wide rotation block.
+    pub fn quantize(&self, tensor: &Tensor) -> Tensor {
+        assert_eq!(
+            tensor.cols() % self.rotation.len(),
+            0,
+            "columns must be a multiple of the rotation block"
+        );
+        let mut rotated = tensor.clone();
+        for block in rotated.data_mut().chunks_mut(self.rotation.len()) {
+            self.rotation.forward(block);
+        }
+        let mut q = rtn_quantize(&rotated, self.bits, Granularity::PerGroup(self.group));
+        for block in q.data_mut().chunks_mut(self.rotation.len()) {
+            self.rotation.inverse(block);
+        }
+        for x in q.data_mut() {
+            *x = ecco_numerics::round_f16(*x);
+        }
+        q
+    }
+
+    /// Average stored bits per value including group metadata.
+    pub fn bits_per_value(&self) -> f64 {
+        self.bits as f64 + 32.0 / self.group as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecco_tensor::{stats::nmse, synth::SynthSpec, TensorKind};
+
+    #[test]
+    fn rotation_helps_heavy_tailed_data() {
+        // On outlier-dominated data (activations / KV), quantizing in the
+        // rotated basis must beat quantizing directly.
+        let t = SynthSpec::for_kind(TensorKind::KCache, 64, 512).seeded(71).generate();
+        let e_rot = nmse(&t, &Quarot::w4_g128().quantize(&t));
+        let e_raw = nmse(&t, &rtn_quantize(&t, 4, Granularity::PerGroup(128)));
+        assert!(
+            e_rot < e_raw,
+            "QuaRot NMSE {e_rot} must beat direct 4-bit {e_raw} on heavy tails"
+        );
+    }
+
+    #[test]
+    fn reconstruction_quality() {
+        let t = SynthSpec::for_kind(TensorKind::Weight, 32, 512).seeded(72).generate();
+        let e = nmse(&t, &Quarot::w4_g128().quantize(&t));
+        assert!(e < 0.02, "QuaRot weight NMSE {e}");
+    }
+
+    #[test]
+    fn shape_preserved() {
+        let t = SynthSpec::for_kind(TensorKind::Activation, 8, 256).seeded(73).generate();
+        let q = Quarot::w4_g128().quantize(&t);
+        assert_eq!((q.rows(), q.cols()), (8, 256));
+    }
+}

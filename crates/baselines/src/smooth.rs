@@ -1,0 +1,146 @@
+//! SmoothQuant: W8A8 with α-smoothing (Xiao et al., 2024).
+//!
+//! Activation outlier channels make per-tensor INT8 activation
+//! quantization lossy; SmoothQuant divides activations by per-channel
+//! factors `s_j = max|X_j|^α / max|W_j|^(1−α)` and multiplies the
+//! corresponding weight columns, migrating the difficulty into weights
+//! where per-channel quantization absorbs it.
+
+use ecco_tensor::Tensor;
+
+use crate::uniform::{rtn_quantize, Granularity};
+
+/// The SmoothQuant W8A8 quantizer.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SmoothQuant {
+    /// Migration strength α in `[0, 1]` (0.5 is the paper default).
+    pub alpha: f32,
+}
+
+impl SmoothQuant {
+    /// Creates a quantizer with migration strength `alpha`.
+    pub fn new(alpha: f32) -> SmoothQuant {
+        SmoothQuant { alpha }
+    }
+
+    /// Computes the per-column smoothing factors from weight and
+    /// activation column maxima.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensors have different column counts.
+    pub fn smoothing_factors(&self, weights: &Tensor, activations: &Tensor) -> Vec<f32> {
+        assert_eq!(weights.cols(), activations.cols(), "column mismatch");
+        let cols = weights.cols();
+        let mut w_max = vec![1e-6f32; cols];
+        let mut a_max = vec![1e-6f32; cols];
+        for (i, &x) in weights.data().iter().enumerate() {
+            let c = i % cols;
+            w_max[c] = w_max[c].max(x.abs());
+        }
+        for (i, &x) in activations.data().iter().enumerate() {
+            let c = i % cols;
+            a_max[c] = a_max[c].max(x.abs());
+        }
+        (0..cols)
+            .map(|c| {
+                (a_max[c].powf(self.alpha) / w_max[c].powf(1.0 - self.alpha)).clamp(1e-3, 1e3)
+            })
+            .collect()
+    }
+
+    /// Applies smoothing then W8 (per-channel) / A8 (per-tensor)
+    /// quantize–dequantize. Returns `(weights', activations')` in the
+    /// original (un-smoothed) basis, so errors are directly comparable.
+    pub fn apply(&self, weights: &Tensor, activations: &Tensor) -> (Tensor, Tensor) {
+        let s = self.smoothing_factors(weights, activations);
+        let cols = weights.cols();
+
+        let mut w = weights.clone();
+        for (i, x) in w.data_mut().iter_mut().enumerate() {
+            *x *= s[i % cols];
+        }
+        let mut wq = rtn_quantize(&w, 8, Granularity::PerChannel);
+        for (i, x) in wq.data_mut().iter_mut().enumerate() {
+            *x = ecco_numerics::round_f16(*x / s[i % cols]);
+        }
+
+        let mut a = activations.clone();
+        for (i, x) in a.data_mut().iter_mut().enumerate() {
+            *x /= s[i % cols];
+        }
+        let mut aq = rtn_quantize(&a, 8, Granularity::PerTensor);
+        for (i, x) in aq.data_mut().iter_mut().enumerate() {
+            *x = ecco_numerics::round_f16(*x * s[i % cols]);
+        }
+
+        (wq, aq)
+    }
+}
+
+impl Default for SmoothQuant {
+    fn default() -> SmoothQuant {
+        SmoothQuant::new(0.5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecco_tensor::{stats::nmse, synth::SynthSpec, TensorKind};
+
+    fn setup() -> (Tensor, Tensor) {
+        let w = SynthSpec::for_kind(TensorKind::Weight, 64, 512).seeded(81).generate();
+        let a = SynthSpec::for_kind(TensorKind::Activation, 64, 512).seeded(82).generate();
+        (w, a)
+    }
+
+    #[test]
+    fn smoothing_beats_naive_per_tensor_a8() {
+        let (w, a) = setup();
+        let (_, aq) = SmoothQuant::default().apply(&w, &a);
+        let naive = rtn_quantize(&a, 8, Granularity::PerTensor);
+        let e_smooth = nmse(&a, &aq);
+        let e_naive = nmse(&a, &naive);
+        assert!(
+            e_smooth < e_naive,
+            "smoothed A8 NMSE {e_smooth} must beat naive {e_naive}"
+        );
+    }
+
+    #[test]
+    fn weight_error_stays_small() {
+        let (w, a) = setup();
+        let (wq, _) = SmoothQuant::default().apply(&w, &a);
+        let e = nmse(&w, &wq);
+        assert!(e < 1e-3, "W8 NMSE {e}");
+    }
+
+    #[test]
+    fn alpha_zero_leaves_activations_unsmoothed() {
+        let (w, a) = setup();
+        let s = SmoothQuant::new(0.0).smoothing_factors(&w, &a);
+        // α = 0: factors depend only on weights — all ≤ 1/w_max^1.
+        assert!(s.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn factors_track_outlier_channels() {
+        let (w, a) = setup();
+        let s = SmoothQuant::default().smoothing_factors(&w, &a);
+        // The largest-activation channel must get one of the largest
+        // smoothing factors.
+        let mut a_max = vec![0f32; a.cols()];
+        for (i, &x) in a.data().iter().enumerate() {
+            let c = i % a.cols();
+            a_max[c] = a_max[c].max(x.abs());
+        }
+        let hot = (0..a.cols()).max_by(|&i, &j| a_max[i].total_cmp(&a_max[j])).unwrap();
+        let median = {
+            let mut v = s.clone();
+            v.sort_by(f32::total_cmp);
+            v[v.len() / 2]
+        };
+        assert!(s[hot] > median, "hot channel factor {} vs median {median}", s[hot]);
+    }
+}

@@ -1,0 +1,206 @@
+//! Uniform (integer) round-to-nearest quantization at selectable
+//! granularity — the RTN baseline and the building block of every other
+//! method, plus the tensor/channel/group comparison of Figure 2.
+
+use ecco_tensor::Tensor;
+
+/// Quantization granularity: how many values share one scale/zero-point.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Granularity {
+    /// One scale for the whole tensor.
+    PerTensor,
+    /// One scale per row (output channel).
+    PerChannel,
+    /// One scale per contiguous group of `n` values within a row.
+    PerGroup(usize),
+}
+
+/// Asymmetric uniform quantize–dequantize with `bits` of precision.
+///
+/// Each quantization range spans `[min, max]` of its granularity unit with
+/// `2^bits − 1` steps and a zero point, the standard INT-N formulation
+/// (Equation 4 of the paper). Values round through FP16 on the way out.
+///
+/// # Panics
+///
+/// Panics if `bits` is 0 or > 16, or if a group size does not divide the
+/// row length.
+///
+/// # Examples
+///
+/// ```
+/// use ecco_baselines::{rtn_quantize, Granularity};
+/// use ecco_tensor::Tensor;
+///
+/// let t = Tensor::from_vec(1, 4, vec![0.0, 0.5, 1.0, -1.0]);
+/// let q = rtn_quantize(&t, 8, Granularity::PerTensor);
+/// assert!((q.get(0, 1) - 0.5).abs() < 0.01);
+/// ```
+pub fn rtn_quantize(tensor: &Tensor, bits: u32, granularity: Granularity) -> Tensor {
+    assert!((1..=16).contains(&bits), "bits must be in 1..=16");
+    let levels = ((1u32 << bits) - 1) as f32;
+    let mut out = tensor.clone();
+    match granularity {
+        Granularity::PerTensor => {
+            quantize_span(out.data_mut(), levels);
+        }
+        Granularity::PerChannel => {
+            let cols = tensor.cols();
+            for row in out.data_mut().chunks_mut(cols) {
+                quantize_span(row, levels);
+            }
+        }
+        Granularity::PerGroup(g) => {
+            assert!(g > 0 && tensor.cols().is_multiple_of(g), "group must divide row length");
+            for group in out.data_mut().chunks_mut(g) {
+                quantize_span(group, levels);
+            }
+        }
+    }
+    out
+}
+
+/// Quantizes one scale-sharing span in place.
+fn quantize_span(span: &mut [f32], levels: f32) {
+    let mut lo = f32::INFINITY;
+    let mut hi = f32::NEG_INFINITY;
+    for &x in span.iter() {
+        lo = lo.min(x);
+        hi = hi.max(x);
+    }
+    if !lo.is_finite() || !hi.is_finite() || hi <= lo {
+        return; // constant span is exactly representable
+    }
+    let scale = (hi - lo) / levels;
+    for x in span.iter_mut() {
+        let q = ((*x - lo) / scale).round().clamp(0.0, levels);
+        *x = ecco_numerics::round_f16(lo + q * scale);
+    }
+}
+
+/// Returns the quantized code for each value (used by the Figure 2
+/// entropy/unique-count analysis rather than reconstruction).
+pub fn rtn_codes(tensor: &Tensor, bits: u32, granularity: Granularity) -> Vec<u16> {
+    assert!((1..=16).contains(&bits));
+    let levels = ((1u32 << bits) - 1) as f32;
+    let mut codes = vec![0u16; tensor.len()];
+    let spans: Vec<(usize, usize)> = match granularity {
+        Granularity::PerTensor => vec![(0, tensor.len())],
+        Granularity::PerChannel => (0..tensor.rows())
+            .map(|r| (r * tensor.cols(), (r + 1) * tensor.cols()))
+            .collect(),
+        Granularity::PerGroup(g) => {
+            assert!(g > 0 && tensor.len().is_multiple_of(g));
+            (0..tensor.len() / g).map(|i| (i * g, (i + 1) * g)).collect()
+        }
+    };
+    for (a, b) in spans {
+        let span = &tensor.data()[a..b];
+        let mut lo = f32::INFINITY;
+        let mut hi = f32::NEG_INFINITY;
+        for &x in span {
+            lo = lo.min(x);
+            hi = hi.max(x);
+        }
+        if hi <= lo {
+            continue;
+        }
+        let scale = (hi - lo) / levels;
+        for (i, &x) in span.iter().enumerate() {
+            codes[a + i] = ((x - lo) / scale).round().clamp(0.0, levels) as u16;
+        }
+    }
+    codes
+}
+
+/// Metadata overhead in bits per value for a uniform scheme storing an
+/// FP16 scale and FP16 zero point per granularity unit (the "real bit
+/// overhead" axis of Figure 2).
+pub fn metadata_bits_per_value(tensor: &Tensor, granularity: Granularity) -> f64 {
+    let units = match granularity {
+        Granularity::PerTensor => 1,
+        Granularity::PerChannel => tensor.rows(),
+        Granularity::PerGroup(g) => tensor.len() / g,
+    };
+    (units * 32) as f64 / tensor.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecco_tensor::{stats::nmse, synth::SynthSpec, TensorKind};
+    use proptest::prelude::*;
+
+    fn weight(seed: u64) -> Tensor {
+        SynthSpec::for_kind(TensorKind::Weight, 32, 512).seeded(seed).generate()
+    }
+
+    #[test]
+    fn finer_granularity_reduces_error() {
+        let t = weight(1);
+        let e_tensor = nmse(&t, &rtn_quantize(&t, 4, Granularity::PerTensor));
+        let e_channel = nmse(&t, &rtn_quantize(&t, 4, Granularity::PerChannel));
+        let e_group = nmse(&t, &rtn_quantize(&t, 4, Granularity::PerGroup(128)));
+        assert!(e_tensor > e_channel, "{e_tensor} vs {e_channel}");
+        assert!(e_channel > e_group, "{e_channel} vs {e_group}");
+    }
+
+    #[test]
+    fn more_bits_reduce_error() {
+        let t = weight(2);
+        let e4 = nmse(&t, &rtn_quantize(&t, 4, Granularity::PerGroup(128)));
+        let e8 = nmse(&t, &rtn_quantize(&t, 8, Granularity::PerGroup(128)));
+        assert!(e8 < e4 / 10.0, "8-bit {e8} vs 4-bit {e4}");
+    }
+
+    #[test]
+    fn constant_span_is_untouched() {
+        let t = Tensor::from_vec(1, 8, vec![2.5; 8]);
+        let q = rtn_quantize(&t, 4, Granularity::PerTensor);
+        assert_eq!(q.data(), t.data());
+    }
+
+    #[test]
+    fn codes_span_full_range() {
+        let t = Tensor::from_vec(1, 16, (0..16).map(|i| i as f32).collect());
+        let codes = rtn_codes(&t, 4, Granularity::PerTensor);
+        assert_eq!(codes[0], 0);
+        assert_eq!(codes[15], 15);
+    }
+
+    #[test]
+    fn metadata_overhead_scales_with_units() {
+        let t = weight(3);
+        let mt = metadata_bits_per_value(&t, Granularity::PerTensor);
+        let mc = metadata_bits_per_value(&t, Granularity::PerChannel);
+        let mg = metadata_bits_per_value(&t, Granularity::PerGroup(128));
+        assert!(mt < mc && mc < mg);
+        assert!((mg - 0.25).abs() < 1e-12, "32 bits / 128 values");
+    }
+
+    proptest! {
+        #[test]
+        fn error_bounded_by_half_step(vals in prop::collection::vec(-4.0f32..4.0, 64)) {
+            let t = Tensor::from_vec(1, 64, vals.iter().map(|&v| ecco_numerics::round_f16(v)).collect());
+            let q = rtn_quantize(&t, 8, Granularity::PerTensor);
+            let lo = t.data().iter().cloned().fold(f32::INFINITY, f32::min);
+            let hi = t.data().iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let step = (hi - lo).max(1e-9) / 255.0;
+            for (a, b) in t.data().iter().zip(q.data()) {
+                prop_assert!((a - b).abs() <= step * 0.75 + a.abs() * 2e-3);
+            }
+        }
+
+        #[test]
+        fn quantization_is_idempotent(vals in prop::collection::vec(-4.0f32..4.0, 32)) {
+            let t = Tensor::from_vec(1, 32, vals);
+            let q1 = rtn_quantize(&t, 4, Granularity::PerTensor);
+            let q2 = rtn_quantize(&q1, 4, Granularity::PerTensor);
+            for (a, b) in q1.data().iter().zip(q2.data()) {
+                // FP16 rounding of the reconstruction can move lo/hi a
+                // hair between passes; allow sub-step drift.
+                prop_assert!((a - b).abs() < 1e-2 * (1.0 + a.abs()), "{} vs {}", a, b);
+            }
+        }
+    }
+}

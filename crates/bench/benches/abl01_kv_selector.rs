@@ -1,0 +1,37 @@
+//! Ablation A1: the online min/max KV pattern selector vs the MSE-optimal
+//! selector (Section 3.2 — the paper's hardware-complexity trade-off).
+
+use ecco_bench::{f, print_table};
+use ecco_core::{EccoConfig, KvCodec, PatternSelector};
+use ecco_tensor::{stats::nmse, synth::SynthSpec, TensorKind};
+
+fn main() {
+    let mut rows = Vec::new();
+    for (name, kind) in [("k_cache", TensorKind::KCache), ("v_cache", TensorKind::VCache)] {
+        let t = SynthSpec::for_kind(kind, 128, 1024).seeded(17).generate();
+        let codec = KvCodec::calibrate(&[&t], &EccoConfig::default());
+        let (mm, mm_stats) = codec.roundtrip(&t);
+        let (mse_ct, mse_stats) = codec.compress_with(&t, PatternSelector::MseOptimal);
+        let mse = codec.decompress(&mse_ct);
+        rows.push(vec![
+            name.to_string(),
+            "min/max (2 cmp)".to_string(),
+            format!("{:.5}", nmse(&t, &mm)),
+            format!("{}%", f(mm_stats.pad_ratio() * 100.0, 2)),
+        ]);
+        rows.push(vec![
+            name.to_string(),
+            "MSE-optimal (128 MACs)".to_string(),
+            format!("{:.5}", nmse(&t, &mse)),
+            format!("{}%", f(mse_stats.pad_ratio() * 100.0, 2)),
+        ]);
+    }
+    print_table(
+        "Ablation A1 — KV pattern selector: hardware-cheap min/max vs MSE-optimal",
+        &["Tensor", "Selector", "NMSE", "Padding"],
+        &rows,
+    );
+    println!("\nPer-group selection cost: 2 comparisons vs 128 binary searches + MACs per");
+    println!("pattern x 16 patterns. Paper: the simplified method incurs only a minimal");
+    println!("perplexity drop — the NMSE gap above quantifies it.");
+}

@@ -1,0 +1,58 @@
+//! Ablation A2: what the clipped+padded Huffman stage buys over (a) the
+//! same codec without outlier padding and (b) plain in-block 4-bit RTN.
+
+use ecco_bench::{f, print_table};
+use ecco_baselines::{rtn_quantize, Granularity};
+use ecco_core::block::encode_group_unpadded;
+use ecco_core::{decode_group, EccoConfig, PatternSelector, TensorMetadata, WeightCodec};
+use ecco_tensor::{stats::nmse, synth::SynthSpec, Tensor, TensorKind};
+
+fn main() {
+    let mut rows = Vec::new();
+    for (name, kind) in [
+        ("weights", TensorKind::Weight),
+        ("k_cache", TensorKind::KCache),
+    ] {
+        let t = SynthSpec::for_kind(kind, 128, 1024).seeded(23).generate();
+        let codec = WeightCodec::calibrate(&[&t], &EccoConfig::default());
+        let (full, stats) = codec.roundtrip(&t);
+
+        // Padding disabled: same patterns/books, zero-filled leftovers.
+        let meta = codec.metadata().with_scale(TensorMetadata::scale_for(&t));
+        let mut data = Vec::with_capacity(t.len());
+        for g in t.groups(128) {
+            let (b, _) = encode_group_unpadded(g, &meta, PatternSelector::MseOptimal);
+            let (vals, _) = decode_group(&b, &meta).expect("own block");
+            data.extend_from_slice(&vals);
+        }
+        let unpadded = Tensor::from_vec(t.rows(), t.cols(), data);
+
+        let rtn = rtn_quantize(&t, 4, Granularity::PerGroup(128));
+
+        rows.push(vec![
+            name.to_string(),
+            "Ecco (pad+clip)".to_string(),
+            format!("{:.5}", nmse(&t, &full)),
+            format!("{}%", f(stats.pad_ratio() * 100.0, 2)),
+        ]);
+        rows.push(vec![
+            name.to_string(),
+            "Ecco, no padding".to_string(),
+            format!("{:.5}", nmse(&t, &unpadded)),
+            "0%".to_string(),
+        ]);
+        rows.push(vec![
+            name.to_string(),
+            "in-block 4-bit RTN".to_string(),
+            format!("{:.5}", nmse(&t, &rtn)),
+            "-".to_string(),
+        ]);
+    }
+    print_table(
+        "Ablation A2 — outlier padding vs no padding vs plain 4-bit",
+        &["Tensor", "Variant", "NMSE", "Padding"],
+        &rows,
+    );
+    println!("\nPadding stores the next-largest values at FP8 in leftover Huffman space,");
+    println!("which is where Ecco wins on heavy-tailed caches (cf. Figure 10's 7% K-cache pad).");
+}

@@ -1,0 +1,52 @@
+//! Ablation A3: the code-length cap (2..=L bits) trades compression
+//! quality against speculative-decoder window width (the paper picks
+//! L = 8 so each 8-bit segment holds 1..4 code starts and a 15-bit
+//! window always completes a code).
+
+use ecco_bench::{f, print_table};
+use ecco_entropy::stats::shannon_entropy;
+use ecco_entropy::Codebook;
+use ecco_core::{normalize_group, EccoConfig, PatternSelector, TensorMetadata};
+use ecco_tensor::{synth::SynthSpec, TensorKind};
+
+fn main() {
+    // Collect real symbol statistics from the codec on K-cache data.
+    let t = SynthSpec::for_kind(TensorKind::KCache, 128, 1024).seeded(29).generate();
+    let cfg = EccoConfig {
+        num_patterns: 16,
+        ..EccoConfig::default()
+    };
+    let meta = TensorMetadata::calibrate(&[&t], &cfg, PatternSelector::MinMax);
+    let mut freqs = vec![0u64; 16];
+    for g in t.groups(128) {
+        let ng = normalize_group(g, meta.tensor_scale);
+        let kp = meta.select_pattern(&ng, PatternSelector::MinMax);
+        for (i, &v) in ng.values.iter().enumerate() {
+            let s = if i == ng.max_pos { 15 } else { meta.patterns[kp].nearest(v) };
+            freqs[s as usize] += 1;
+        }
+    }
+    let entropy = shannon_entropy(&freqs);
+
+    let mut rows = Vec::new();
+    for max_len in [4u8, 5, 6, 8, 10, 12] {
+        let book = Codebook::from_frequencies(&freqs, 2, max_len).expect("16 symbols fit");
+        let el = book.expected_len(&freqs);
+        let window = 8 + max_len as usize - 1;
+        let feasible = max_len <= 8;
+        rows.push(vec![
+            format!("2..={max_len}"),
+            f(el, 3),
+            format!("{}%", f((el / entropy - 1.0) * 100.0, 1)),
+            format!("{window}b"),
+            if feasible { "yes (8b segments)" } else { "no" }.to_string(),
+        ]);
+    }
+    print_table(
+        "Ablation A3 — code-length cap vs expected code length (K-cache symbols)",
+        &["Lengths", "E[len] (bits)", "vs entropy", "Decoder window", "64x8 parallel OK"],
+        &rows,
+    );
+    println!("\nSymbol entropy: {} bits. Beyond L=8 the gain is negligible while the", f(entropy, 3));
+    println!("speculative window outgrows the 15-bit chunk the hardware is built on.");
+}

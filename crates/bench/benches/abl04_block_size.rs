@@ -1,0 +1,39 @@
+//! Ablation A4: compressed-block size (Section 3.1's "Compression
+//! Target"): 32 B vs 64 B vs 128 B blocks trade metadata share, load
+//! granularity, and group-level adaptivity.
+
+use ecco_bench::{f, print_table};
+use ecco_baselines::{rtn_quantize, Granularity};
+use ecco_tensor::{stats::nmse, synth::SynthSpec, TensorKind};
+
+fn main() {
+    let t = SynthSpec::for_kind(TensorKind::Weight, 128, 1024).seeded(31).generate();
+    let mut rows = Vec::new();
+    for (block_bytes, group) in [(32usize, 64usize), (64, 128), (128, 256)] {
+        // Group-level adaptivity proxy: 4-bit quantization at the group
+        // size the block implies.
+        let e = nmse(&t, &rtn_quantize(&t, 4, Granularity::PerGroup(group)));
+        // Fixed header (ID_HF + SF + ID_KP ≈ 13 bits) share of the block.
+        let header_share = 13.0 / (block_bytes as f64 * 8.0) * 100.0;
+        let sectors = block_bytes / 32;
+        rows.push(vec![
+            format!("{block_bytes} B"),
+            format!("{group}"),
+            format!("{:.5}", e),
+            format!("{}%", f(header_share, 2)),
+            format!("{sectors}"),
+            match block_bytes {
+                32 => "= 1 sector (min transaction)".to_string(),
+                64 => "= DRAM->L2 transaction (chosen)".to_string(),
+                _ => "= full cache line".to_string(),
+            },
+        ]);
+    }
+    print_table(
+        "Ablation A4 — compressed block size trade-off",
+        &["Block", "Group", "4-bit NMSE", "Header share", "Sectors", "Note"],
+        &rows,
+    );
+    println!("\n64 B balances metadata share against group adaptivity and matches the");
+    println!("default DRAM->L2 transaction, exactly the paper's argument for 64 B.");
+}

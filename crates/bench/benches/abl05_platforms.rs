@@ -1,0 +1,58 @@
+//! Ablation A5 (paper Section 6.1): Ecco across platforms — GPUs,
+//! small-L2 accelerators, AI-capable CPUs — plus the L2 capacity benefit
+//! measured with the cache model.
+
+use ecco_bench::{f, print_table};
+use ecco_llm::{DecodeWorkload, ModelSpec};
+use ecco_sim::cache::{steady_state_hit_rate, CacheConfig};
+use ecco_sim::{ExecScheme, GpuSpec, SimEngine};
+
+fn main() {
+    let mut rows = Vec::new();
+    for gpu in [GpuSpec::a100(), GpuSpec::accelerator(), GpuSpec::ai_cpu()] {
+        let engine = SimEngine::new(gpu.clone());
+        // Size the workload to the platform: 13B on GPU/accelerator,
+        // 7B at batch 1 on the CPU.
+        let (model, batch) = if gpu.name == "AI CPU" {
+            (ModelSpec::llama_7b(), 1usize)
+        } else {
+            (ModelSpec::llama_13b(), 8usize)
+        };
+        let wl = DecodeWorkload::new(model, batch, 2048);
+        let fp16 = wl.step_time(&engine, &ExecScheme::fp16_trt()).total;
+        let ecco = wl.step_time(&engine, &ExecScheme::ecco()).total;
+        rows.push(vec![
+            gpu.name.clone(),
+            f(fp16 * 1e3, 2),
+            f(ecco * 1e3, 2),
+            format!("{}x", f(fp16 / ecco, 2)),
+        ]);
+    }
+    print_table(
+        "Ablation A5 — decode step across platforms (Section 6.1)",
+        &["Platform", "FP16 (ms)", "Ecco (ms)", "Speedup"],
+        &rows,
+    );
+
+    // The cache-capacity benefit: a hot working set that thrashes an
+    // 8 MB accelerator L2 uncompressed becomes resident at 4x.
+    let l2 = CacheConfig {
+        capacity: 8 * 1024 * 1024,
+        line_bytes: 128,
+        ways: 16,
+    };
+    let hot_set = 24u64 * 1024 * 1024; // e.g. a resident KV working set
+    let raw = steady_state_hit_rate(l2, hot_set, 3);
+    let compressed = steady_state_hit_rate(l2, hot_set / 4, 3);
+    let rows = vec![
+        vec!["uncompressed".to_string(), "24 MiB".to_string(), format!("{}%", f(raw * 100.0, 1))],
+        vec!["Ecco 4x".to_string(), "6 MiB".to_string(), format!("{}%", f(compressed * 100.0, 1))],
+    ];
+    print_table(
+        "L2 residency of a 24 MiB hot set in an 8 MiB accelerator L2",
+        &["Storage", "Footprint", "Steady-state hit rate"],
+        &rows,
+    );
+    println!("\nPaper reference (Sec 6.1): accelerators with small L2 caches benefit even");
+    println!("more, as compressed data lets more of the working set stay resident.");
+}

@@ -1,0 +1,30 @@
+//! Criterion micro-bench: software codec encode/decode throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ecco_core::{decode_group, encode_group, EccoConfig, PatternSelector, TensorMetadata};
+use ecco_tensor::{synth::SynthSpec, TensorKind};
+
+fn bench(c: &mut Criterion) {
+    let t = SynthSpec::for_kind(TensorKind::Weight, 64, 1024).seeded(1).generate();
+    let cfg = EccoConfig {
+        num_patterns: 16,
+        max_calibration_groups: 256,
+        ..EccoConfig::default()
+    };
+    let meta = TensorMetadata::calibrate(&[&t], &cfg, PatternSelector::MseOptimal);
+    let group: Vec<f32> = t.groups(128).next().unwrap().to_vec();
+    let (block, _) = encode_group(&group, &meta, PatternSelector::MseOptimal);
+
+    let mut g = c.benchmark_group("codec");
+    g.throughput(Throughput::Bytes(256));
+    g.bench_function("encode_group_4x", |b| {
+        b.iter(|| encode_group(std::hint::black_box(&group), &meta, PatternSelector::MseOptimal))
+    });
+    g.bench_function("decode_group_4x", |b| {
+        b.iter(|| decode_group(std::hint::black_box(&block), &meta).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

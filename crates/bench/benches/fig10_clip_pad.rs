@@ -1,0 +1,55 @@
+//! Figure 10: average padding and clipping ratios per layer kind on
+//! LLaMA-2-13B.
+
+use ecco_bench::{f, print_table};
+use ecco_core::{EccoConfig, KvCodec, WeightCodec};
+use ecco_tensor::{seed_for, synth::SynthSpec, Tensor, TensorKind};
+
+fn main() {
+    let model = "LLaMA2-13B";
+    let projections = [
+        "q_proj", "k_proj", "v_proj", "o_proj", "gate_proj", "up_proj", "down_proj",
+    ];
+    let mut rows = Vec::new();
+
+    // Weight projections share one codec, as metadata is shared per model.
+    let tensors: Vec<Tensor> = projections
+        .iter()
+        .map(|name| {
+            SynthSpec::for_kind(TensorKind::Weight, 128, 1024)
+                .seeded(seed_for(model, 0, name))
+                .generate()
+        })
+        .collect();
+    let refs: Vec<&Tensor> = tensors.iter().collect();
+    let codec = WeightCodec::calibrate(&refs, &EccoConfig::default());
+    for (name, t) in projections.iter().zip(&tensors) {
+        let (_, stats) = codec.compress(t);
+        rows.push(vec![
+            name.to_string(),
+            format!("{}%", f(stats.clip_ratio() * 100.0, 3)),
+            format!("{}%", f(stats.pad_ratio() * 100.0, 2)),
+        ]);
+    }
+
+    for (name, kind) in [("k_cache", TensorKind::KCache), ("v_cache", TensorKind::VCache)] {
+        let t = SynthSpec::for_kind(kind, 128, 1024)
+            .seeded(seed_for(model, 0, name))
+            .generate();
+        let codec = KvCodec::calibrate(&[&t], &EccoConfig::default());
+        let (_, stats) = codec.compress(&t);
+        rows.push(vec![
+            name.to_string(),
+            format!("{}%", f(stats.clip_ratio() * 100.0, 3)),
+            format!("{}%", f(stats.pad_ratio() * 100.0, 2)),
+        ]);
+    }
+
+    print_table(
+        "Figure 10 — clipping / padding ratios by layer (LLaMA-2-13B)",
+        &["Layer", "Clipping", "Padding"],
+        &rows,
+    );
+    println!("\nPaper reference: projections clip <0.04% and pad ~0.7%;");
+    println!("k_cache pads 7.11%, v_cache 2.19% (heavier-tailed distributions).");
+}

@@ -1,0 +1,27 @@
+//! Criterion micro-bench: length-limited codebook construction and
+//! stream encode.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ecco_bits::BitWriter;
+use ecco_entropy::Codebook;
+
+fn bench(c: &mut Criterion) {
+    let freqs = [400u64, 210, 96, 60, 31, 17, 9, 5, 3, 2, 1, 1, 1, 1, 1, 30];
+    c.bench_function("package_merge_16sym_2to8", |b| {
+        b.iter(|| Codebook::from_frequencies(std::hint::black_box(&freqs), 2, 8).unwrap())
+    });
+    let book = Codebook::from_frequencies(&freqs, 2, 8).unwrap();
+    let symbols: Vec<u16> = (0..128).map(|i| (i * 7 % 16) as u16).collect();
+    c.bench_function("encode_128_symbols", |b| {
+        b.iter(|| {
+            let mut w = BitWriter::with_capacity(512);
+            for &s in std::hint::black_box(&symbols) {
+                book.encode_symbol(&mut w, s);
+            }
+            w
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

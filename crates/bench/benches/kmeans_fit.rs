@@ -1,0 +1,16 @@
+//! Criterion micro-bench: the per-group k-means of calibration step 3.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ecco_kmeans::{fit_scalar, KmeansConfig};
+
+fn bench(c: &mut Criterion) {
+    let points: Vec<f32> = (0..127)
+        .map(|i| (((i * 37) % 113) as f32 / 56.5 - 1.0).tanh())
+        .collect();
+    c.bench_function("kmeans_127pts_15clusters", |b| {
+        b.iter(|| fit_scalar(std::hint::black_box(&points), None, &KmeansConfig::with_k(15)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

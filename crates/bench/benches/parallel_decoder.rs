@@ -1,0 +1,31 @@
+//! Criterion micro-bench: the parallel-decoder functional model vs the
+//! sequential reference decoder.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ecco_core::{decode_group, encode_group, EccoConfig, PatternSelector, TensorMetadata};
+use ecco_hw::decode_block_parallel;
+use ecco_tensor::{synth::SynthSpec, TensorKind};
+
+fn bench(c: &mut Criterion) {
+    let t = SynthSpec::for_kind(TensorKind::KCache, 64, 1024).seeded(2).generate();
+    let cfg = EccoConfig {
+        num_patterns: 16,
+        max_calibration_groups: 256,
+        ..EccoConfig::default()
+    };
+    let meta = TensorMetadata::calibrate(&[&t], &cfg, PatternSelector::MinMax);
+    let group: Vec<f32> = t.groups(128).next().unwrap().to_vec();
+    let (block, _) = encode_group(&group, &meta, PatternSelector::MinMax);
+
+    let mut g = c.benchmark_group("huffman_decode");
+    g.bench_function("sequential_reference", |b| {
+        b.iter(|| decode_group(std::hint::black_box(&block), &meta).unwrap())
+    });
+    g.bench_function("parallel_model_64x8", |b| {
+        b.iter(|| decode_block_parallel(std::hint::black_box(&block), &meta).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

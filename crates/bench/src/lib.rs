@@ -1,0 +1,73 @@
+//! Shared support for the experiment bench targets.
+//!
+//! Every table and figure of the paper's evaluation has a bench target in
+//! `benches/` (harness = false) that regenerates it and prints the same
+//! rows/series. Set `ECCO_QUICK=1` to run reduced sweeps.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Returns `true` when reduced sweeps were requested via `ECCO_QUICK=1`.
+pub fn quick_mode() -> bool {
+    std::env::var("ECCO_QUICK").map(|v| v == "1").unwrap_or(false)
+}
+
+/// Prints a fixed-width table: a header row, a rule, then rows.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n=== {title} ===");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let header_line: Vec<String> = headers
+        .iter()
+        .enumerate()
+        .map(|(i, h)| format!("{:>w$}", h, w = widths[i]))
+        .collect();
+    println!("{}", header_line.join("  "));
+    println!("{}", "-".repeat(header_line.join("  ").len()));
+    for row in rows {
+        let line: Vec<String> = row
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+            .collect();
+        println!("{}", line.join("  "));
+    }
+}
+
+/// Formats a float to `d` decimals.
+pub fn f(x: f64, d: usize) -> String {
+    format!("{x:.d$}")
+}
+
+/// Geometric mean of positive values.
+///
+/// # Panics
+///
+/// Panics if `xs` is empty or contains non-positive entries.
+pub fn geo_mean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "geo mean of nothing");
+    assert!(xs.iter().all(|&x| x > 0.0), "geo mean needs positives");
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geo_mean_of_constants() {
+        assert!((geo_mean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+        assert!((geo_mean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(f(1.23456, 2), "1.23");
+    }
+}

@@ -1,0 +1,434 @@
+//! MSB-first bitstream primitives for the Ecco compressed-block format.
+//!
+//! Every Ecco compressed block is exactly **512 bits** (64 bytes, the
+//! DRAM→L2 transaction size chosen in Section 3.1 of the paper) holding a
+//! mix of fixed-width fields and variable-length Huffman codes. This crate
+//! provides the [`BitWriter`]/[`BitReader`] pair used by the codec and the
+//! hardware models, plus [`Block64`], the fixed-size block buffer.
+//!
+//! Bit order is MSB-first within each byte, matching the way the paper's
+//! decoder slices the 512-bit input into overlapping 15-bit windows.
+//!
+//! # Examples
+//!
+//! ```
+//! use ecco_bits::{BitReader, BitWriter};
+//!
+//! let mut w = BitWriter::new();
+//! w.write_bits(0b101, 3);
+//! w.write_bits(0xFF, 8);
+//! let bytes = w.into_bytes();
+//!
+//! let mut r = BitReader::new(&bytes);
+//! assert_eq!(r.read_bits(3), Some(0b101));
+//! assert_eq!(r.read_bits(8), Some(0xFF));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+
+/// Number of bytes in an Ecco compressed block.
+pub const BLOCK_BYTES: usize = 64;
+/// Number of bits in an Ecco compressed block.
+pub const BLOCK_BITS: usize = BLOCK_BYTES * 8;
+
+/// An MSB-first bit accumulator backed by a growable byte buffer.
+///
+/// # Examples
+///
+/// ```
+/// use ecco_bits::BitWriter;
+///
+/// let mut w = BitWriter::new();
+/// w.write_bits(0b1, 1);
+/// w.write_bits(0b0110, 4);
+/// assert_eq!(w.bit_len(), 5);
+/// assert_eq!(w.into_bytes(), vec![0b1011_0000]);
+/// ```
+#[derive(Clone, Default)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    bit_len: usize,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> BitWriter {
+        BitWriter::default()
+    }
+
+    /// Creates an empty writer with space reserved for `bits` bits.
+    pub fn with_capacity(bits: usize) -> BitWriter {
+        BitWriter {
+            bytes: Vec::with_capacity(bits.div_ceil(8)),
+            bit_len: 0,
+        }
+    }
+
+    /// Number of bits written so far.
+    #[inline]
+    pub fn bit_len(&self) -> usize {
+        self.bit_len
+    }
+
+    /// Returns `true` if no bits have been written.
+    pub fn is_empty(&self) -> bool {
+        self.bit_len == 0
+    }
+
+    /// Appends the low `n` bits of `value`, most significant first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 64` or if `value` has bits set above bit `n`.
+    pub fn write_bits(&mut self, value: u64, n: u32) {
+        assert!(n <= 64, "cannot write more than 64 bits at once");
+        assert!(
+            n == 64 || value < (1u64 << n),
+            "value {value:#x} does not fit in {n} bits"
+        );
+        for i in (0..n).rev() {
+            self.push_bit((value >> i) & 1 == 1);
+        }
+    }
+
+    /// Appends a single bit.
+    #[inline]
+    pub fn push_bit(&mut self, bit: bool) {
+        let byte_idx = self.bit_len / 8;
+        if byte_idx == self.bytes.len() {
+            self.bytes.push(0);
+        }
+        if bit {
+            self.bytes[byte_idx] |= 1 << (7 - (self.bit_len % 8));
+        }
+        self.bit_len += 1;
+    }
+
+    /// Appends zero bits until `bit_len` reaches `target_bits`.
+    ///
+    /// Does nothing if the writer is already at or past the target.
+    pub fn pad_to(&mut self, target_bits: usize) {
+        while self.bit_len < target_bits {
+            self.push_bit(false);
+        }
+    }
+
+    /// Consumes the writer, returning the packed bytes (zero-padded to a
+    /// byte boundary).
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+
+    /// Borrows the packed bytes written so far.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+}
+
+impl fmt::Debug for BitWriter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BitWriter({} bits)", self.bit_len)
+    }
+}
+
+/// An MSB-first bit cursor over a byte slice.
+///
+/// Reads return `None` once fewer than the requested bits remain, which the
+/// codec uses to detect clipped (truncated) Huffman streams.
+///
+/// # Examples
+///
+/// ```
+/// use ecco_bits::BitReader;
+///
+/// let mut r = BitReader::new(&[0b1100_0001, 0b1000_0000]);
+/// assert_eq!(r.read_bits(2), Some(0b11));
+/// assert_eq!(r.read_bits(7), Some(0b0000011));
+/// assert_eq!(r.bit_pos(), 9);
+/// ```
+#[derive(Clone)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    bit_pos: usize,
+    bit_end: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader over all bits of `bytes`.
+    pub fn new(bytes: &'a [u8]) -> BitReader<'a> {
+        BitReader {
+            bytes,
+            bit_pos: 0,
+            bit_end: bytes.len() * 8,
+        }
+    }
+
+    /// Creates a reader over the first `bit_end` bits of `bytes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit_end` exceeds the slice length in bits.
+    pub fn with_limit(bytes: &'a [u8], bit_end: usize) -> BitReader<'a> {
+        assert!(bit_end <= bytes.len() * 8, "limit beyond end of slice");
+        BitReader {
+            bytes,
+            bit_pos: 0,
+            bit_end,
+        }
+    }
+
+    /// Current cursor position in bits from the start.
+    #[inline]
+    pub fn bit_pos(&self) -> usize {
+        self.bit_pos
+    }
+
+    /// Number of unread bits.
+    #[inline]
+    pub fn remaining(&self) -> usize {
+        self.bit_end - self.bit_pos
+    }
+
+    /// Moves the cursor to an absolute bit position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos` is beyond the readable limit.
+    pub fn seek(&mut self, pos: usize) {
+        assert!(pos <= self.bit_end, "seek beyond end of stream");
+        self.bit_pos = pos;
+    }
+
+    /// Reads `n` bits MSB-first, or `None` if fewer than `n` remain.
+    ///
+    /// A failed read leaves the cursor unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 64`.
+    pub fn read_bits(&mut self, n: u32) -> Option<u64> {
+        assert!(n <= 64, "cannot read more than 64 bits at once");
+        if self.remaining() < n as usize {
+            return None;
+        }
+        let mut out = 0u64;
+        for _ in 0..n {
+            let byte = self.bytes[self.bit_pos / 8];
+            let bit = (byte >> (7 - (self.bit_pos % 8))) & 1;
+            out = (out << 1) | bit as u64;
+            self.bit_pos += 1;
+        }
+        Some(out)
+    }
+
+    /// Reads up to `n` bits without moving the cursor, zero-padding past the
+    /// end of the stream. Returns the bits as if `n` bits had been read with
+    /// missing bits as zero.
+    ///
+    /// This matches the hardware decoder, whose 15-bit windows run past the
+    /// end of the 512-bit block and see zero fill.
+    pub fn peek_bits_padded(&self, n: u32) -> u64 {
+        assert!(n <= 64);
+        let mut out = 0u64;
+        for i in 0..n as usize {
+            let pos = self.bit_pos + i;
+            let bit = if pos < self.bit_end {
+                (self.bytes[pos / 8] >> (7 - (pos % 8))) & 1
+            } else {
+                0
+            };
+            out = (out << 1) | bit as u64;
+        }
+        out
+    }
+}
+
+impl fmt::Debug for BitReader<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BitReader(pos {}, end {})", self.bit_pos, self.bit_end)
+    }
+}
+
+/// A fixed 64-byte (512-bit) compressed-block buffer.
+///
+/// [`Block64`] guarantees at the type level that every compressed block has
+/// the exact DRAM-transaction size the format requires; writers that
+/// overflow it report the overflow instead of growing.
+///
+/// # Examples
+///
+/// ```
+/// use ecco_bits::Block64;
+///
+/// let mut w = ecco_bits::BitWriter::new();
+/// w.write_bits(0xAB, 8);
+/// let block = Block64::from_writer(w).unwrap();
+/// assert_eq!(block.as_bytes()[0], 0xAB);
+/// assert_eq!(block.as_bytes().len(), 64);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Block64 {
+    bytes: [u8; BLOCK_BYTES],
+}
+
+impl Block64 {
+    /// An all-zero block.
+    pub const ZERO: Block64 = Block64 {
+        bytes: [0; BLOCK_BYTES],
+    };
+
+    /// Wraps an existing 64-byte buffer.
+    pub const fn from_bytes(bytes: [u8; BLOCK_BYTES]) -> Block64 {
+        Block64 { bytes }
+    }
+
+    /// Builds a block from a writer, zero-padding to 512 bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` with the writer's bit length if it exceeds 512 bits —
+    /// the caller (the codec's clip stage) decides what to drop.
+    pub fn from_writer(mut writer: BitWriter) -> Result<Block64, usize> {
+        if writer.bit_len() > BLOCK_BITS {
+            return Err(writer.bit_len());
+        }
+        writer.pad_to(BLOCK_BITS);
+        let bytes = writer.into_bytes();
+        let mut out = [0u8; BLOCK_BYTES];
+        out.copy_from_slice(&bytes[..BLOCK_BYTES]);
+        Ok(Block64 { bytes: out })
+    }
+
+    /// Borrows the raw bytes.
+    pub fn as_bytes(&self) -> &[u8; BLOCK_BYTES] {
+        &self.bytes
+    }
+
+    /// Returns a bit reader over the whole block.
+    pub fn reader(&self) -> BitReader<'_> {
+        BitReader::new(&self.bytes)
+    }
+}
+
+impl Default for Block64 {
+    fn default() -> Block64 {
+        Block64::ZERO
+    }
+}
+
+impl fmt::Debug for Block64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Block64(")?;
+        for b in &self.bytes[..8] {
+            write!(f, "{b:02x}")?;
+        }
+        write!(f, "…)")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn write_then_read_mixed_widths() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b10, 2);
+        w.write_bits(0xAB, 8);
+        w.write_bits(0x3FFF, 15);
+        w.write_bits(1, 1);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(2), Some(0b10));
+        assert_eq!(r.read_bits(8), Some(0xAB));
+        assert_eq!(r.read_bits(15), Some(0x3FFF));
+        assert_eq!(r.read_bits(1), Some(1));
+    }
+
+    #[test]
+    fn read_past_end_returns_none() {
+        let mut r = BitReader::new(&[0xFF]);
+        assert_eq!(r.read_bits(8), Some(0xFF));
+        assert_eq!(r.read_bits(1), None);
+        // A failed read must not move the cursor.
+        assert_eq!(r.bit_pos(), 8);
+    }
+
+    #[test]
+    fn peek_pads_with_zeros() {
+        let mut r = BitReader::new(&[0b1010_0000]);
+        r.seek(4);
+        // 4 real bits (0000) + 4 padded zeros.
+        assert_eq!(r.peek_bits_padded(8), 0);
+        r.seek(0);
+        assert_eq!(r.peek_bits_padded(15), 0b1010_0000 << 7);
+    }
+
+    #[test]
+    fn with_limit_truncates() {
+        let mut r = BitReader::with_limit(&[0xFF, 0xFF], 9);
+        assert_eq!(r.read_bits(9), Some(0x1FF));
+        assert_eq!(r.read_bits(1), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn writer_rejects_oversized_value() {
+        BitWriter::new().write_bits(0b100, 2);
+    }
+
+    #[test]
+    fn block_overflow_reported() {
+        let mut w = BitWriter::new();
+        w.write_bits(0, 64);
+        for _ in 0..8 {
+            w.write_bits(0, 57);
+        }
+        assert_eq!(Block64::from_writer(w).unwrap_err(), 64 + 8 * 57);
+    }
+
+    #[test]
+    fn block_is_zero_padded() {
+        let mut w = BitWriter::new();
+        w.write_bits(0xFFFF, 16);
+        let b = Block64::from_writer(w).unwrap();
+        assert_eq!(b.as_bytes()[0], 0xFF);
+        assert_eq!(b.as_bytes()[1], 0xFF);
+        assert!(b.as_bytes()[2..].iter().all(|&x| x == 0));
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_random_fields(fields in prop::collection::vec((0u64..u64::MAX, 1u32..=64), 0..64)) {
+            let mut w = BitWriter::new();
+            let mut expect = Vec::new();
+            for &(v, n) in &fields {
+                let masked = if n == 64 { v } else { v & ((1u64 << n) - 1) };
+                w.write_bits(masked, n);
+                expect.push((masked, n));
+            }
+            let total = w.bit_len();
+            prop_assert_eq!(total, fields.iter().map(|&(_, n)| n as usize).sum::<usize>());
+            let bytes = w.into_bytes();
+            let mut r = BitReader::new(&bytes);
+            for (v, n) in expect {
+                prop_assert_eq!(r.read_bits(n), Some(v));
+            }
+        }
+
+        #[test]
+        fn seek_and_reread_consistent(data in prop::collection::vec(any::<u8>(), 1..64), pos in 0usize..256) {
+            let mut r = BitReader::new(&data);
+            let pos = pos % (data.len() * 8);
+            r.seek(pos);
+            let a = r.peek_bits_padded(15);
+            let b = r.peek_bits_padded(15);
+            prop_assert_eq!(a, b);
+            prop_assert_eq!(r.bit_pos(), pos);
+        }
+    }
+}

@@ -1,0 +1,508 @@
+//! 64-byte compressed-block encode/decode (steps 8–9 of Figure 4 and the
+//! block layout of Figure 6a).
+//!
+//! Layout, MSB-first:
+//!
+//! ```text
+//! | ID_HF | SF (8b, FP8 E4M3, signed) | ID_KP (canonical code) |
+//! | Huffman-coded symbols (128 × 2..8b, possibly clipped mid-code) |
+//! | padded outliers (n × 15b: 7b position + 8b FP8 value) | zero fill |
+//! ```
+//!
+//! The outlier count is *implicit*: `n = ⌊(512 − data_end) / 15⌋`, which the
+//! decoder recomputes after decoding the 128th symbol. Clipping truncates
+//! the symbol stream mid-code at bit 512; prefix-freeness guarantees the
+//! decoder cannot misread the truncated tail as a valid code, so the clip
+//! point is recovered without side information.
+
+use ecco_bits::{BitWriter, Block64, BLOCK_BITS};
+use ecco_numerics::F8E4M3;
+
+use crate::group::normalize_group;
+use crate::metadata::{PatternSelector, TensorMetadata};
+use crate::pattern::SCALE_SYMBOL;
+
+/// Bits per padded outlier: 7-bit position + 8-bit FP8 value.
+pub const OUTLIER_BITS: usize = 15;
+
+/// Per-group encoding report, aggregated into [`crate::CodecStats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EncodedGroupInfo {
+    /// Chosen shared pattern.
+    pub pattern_id: usize,
+    /// Chosen Huffman codebook within the pattern.
+    pub book_id: usize,
+    /// Bits of header (`ID_HF` + SF + `ID_KP`).
+    pub header_bits: usize,
+    /// Bits of Huffman-coded data actually stored (after clipping).
+    pub data_bits: usize,
+    /// Symbols whose codes did not fit and were truncated.
+    pub clipped_symbols: usize,
+    /// Outliers padded into leftover space.
+    pub padded_outliers: usize,
+}
+
+/// Errors surfaced when decoding corrupted blocks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The `ID_KP` field did not decode to a known pattern.
+    BadPatternId,
+    /// The `ID_HF` field named a codebook beyond `H`.
+    BadBookId,
+    /// The scale-factor byte decoded to NaN.
+    BadScaleFactor,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::BadPatternId => write!(f, "invalid pattern id"),
+            DecodeError::BadBookId => write!(f, "invalid codebook id"),
+            DecodeError::BadScaleFactor => write!(f, "scale factor is NaN"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Compresses one 128-value group into a 64-byte block.
+///
+/// # Panics
+///
+/// Panics if `group.len() != meta.group_size`.
+pub fn encode_group(
+    group: &[f32],
+    meta: &TensorMetadata,
+    selector: PatternSelector,
+) -> (Block64, EncodedGroupInfo) {
+    assert_eq!(group.len(), meta.group_size, "group size mismatch");
+    let ng = normalize_group(group, meta.tensor_scale);
+    let kp = meta.select_pattern(&ng, selector);
+    encode_group_impl(group, &ng, meta, kp)
+}
+
+/// Compresses one group with an explicitly chosen shared pattern — used
+/// by the activation-aware weight path, where pattern selection minimizes
+/// the *weighted* error (the weights live outside the block format).
+///
+/// # Panics
+///
+/// Panics if `group.len() != meta.group_size` or `kp` is out of range.
+pub fn encode_group_with_pattern(
+    group: &[f32],
+    meta: &TensorMetadata,
+    kp: usize,
+) -> (Block64, EncodedGroupInfo) {
+    assert_eq!(group.len(), meta.group_size, "group size mismatch");
+    assert!(kp < meta.patterns.len(), "pattern id out of range");
+    let ng = normalize_group(group, meta.tensor_scale);
+    encode_group_impl(group, &ng, meta, kp)
+}
+
+/// Compresses one group with outlier padding disabled — leftover block
+/// space is zero-filled instead. Only used by the `abl02` ablation bench
+/// to quantify what padding buys.
+pub fn encode_group_unpadded(
+    group: &[f32],
+    meta: &TensorMetadata,
+    selector: PatternSelector,
+) -> (Block64, EncodedGroupInfo) {
+    assert_eq!(group.len(), meta.group_size, "group size mismatch");
+    let ng = normalize_group(group, meta.tensor_scale);
+    let kp = meta.select_pattern(&ng, selector);
+    encode_group_full(group, &ng, meta, kp, false)
+}
+
+fn encode_group_impl(
+    group: &[f32],
+    ng: &crate::group::NormalizedGroup,
+    meta: &TensorMetadata,
+    kp: usize,
+) -> (Block64, EncodedGroupInfo) {
+    encode_group_full(group, ng, meta, kp, true)
+}
+
+fn encode_group_full(
+    group: &[f32],
+    ng: &crate::group::NormalizedGroup,
+    meta: &TensorMetadata,
+    kp: usize,
+    pad_outliers: bool,
+) -> (Block64, EncodedGroupInfo) {
+    let pattern = &meta.patterns[kp];
+
+    // Symbol assignment (step 5).
+    let symbols: Vec<u16> = ng
+        .values
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| {
+            if i == ng.max_pos {
+                SCALE_SYMBOL
+            } else {
+                pattern.nearest(v)
+            }
+        })
+        .collect();
+
+    // Step 8: pick the codebook with the shortest total encoding.
+    let books = &meta.books[kp];
+    let (book_id, data_len) = books
+        .iter()
+        .enumerate()
+        .map(|(i, b)| (i, b.encoded_len(&symbols)))
+        .min_by_key(|&(_, len)| len)
+        .expect("H >= 1");
+    let book = &books[book_id];
+
+    // Header.
+    let mut w = BitWriter::with_capacity(BLOCK_BITS);
+    if meta.id_hf_bits > 0 {
+        w.write_bits(book_id as u64, meta.id_hf_bits);
+    }
+    w.write_bits(ng.sf_bits as u64, 8);
+    meta.pattern_code.encode_symbol(&mut w, kp as u16);
+    let header_bits = w.bit_len();
+    let budget = BLOCK_BITS - header_bits;
+
+    let mut info = EncodedGroupInfo {
+        pattern_id: kp,
+        book_id,
+        header_bits,
+        ..EncodedGroupInfo::default()
+    };
+
+    if data_len <= budget {
+        // Everything fits: write all symbols, then pad outliers (step 9).
+        for &s in &symbols {
+            book.encode_symbol(&mut w, s);
+        }
+        info.data_bits = data_len;
+        let n_out = if pad_outliers {
+            (budget - data_len) / OUTLIER_BITS
+        } else {
+            0
+        };
+        let outliers = rank_outliers(group, ng.max_pos);
+        for &(pos, val) in outliers.iter().take(n_out) {
+            let f8 = F8E4M3::from_f32(meta.tensor_scale.compress(val));
+            w.write_bits(pos as u64, 7);
+            w.write_bits(f8.to_bits() as u64, 8);
+            info.padded_outliers += 1;
+        }
+    } else {
+        // Clip: truncate the code stream mid-code at bit 512 (paper: "we
+        // simply clip the excess").
+        let mut full = 0usize;
+        'outer: for &s in &symbols {
+            let len = book.code_len(s) as usize;
+            let code = book.code(s) as u64;
+            let room = BLOCK_BITS - w.bit_len();
+            if len <= room {
+                book.encode_symbol(&mut w, s);
+                full += 1;
+            } else {
+                // Partial prefix of the next code fills the block exactly.
+                if room > 0 {
+                    w.write_bits(code >> (len - room), room as u32);
+                }
+                break 'outer;
+            }
+        }
+        info.data_bits = BLOCK_BITS - header_bits;
+        info.clipped_symbols = meta.group_size - full;
+    }
+
+    let block = Block64::from_writer(w).expect("encoder never exceeds 512 bits");
+    (block, info)
+}
+
+/// Per-group decoding report.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DecodedGroupInfo {
+    /// Symbols recovered before the stream ended.
+    pub decoded_symbols: usize,
+    /// Symbols reconstructed as the near-zero centroid because of clipping.
+    pub clipped_symbols: usize,
+    /// Outliers applied from the padding region.
+    pub applied_outliers: usize,
+}
+
+/// Decompresses one block back into `meta.group_size` FP16 values.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] for corrupted headers; the symbol stream
+/// itself is always decodable (clipping is handled by reconstruction).
+pub fn decode_group(
+    block: &Block64,
+    meta: &TensorMetadata,
+) -> Result<(Vec<f32>, DecodedGroupInfo), DecodeError> {
+    let mut r = block.reader();
+    let book_id = if meta.id_hf_bits > 0 {
+        r.read_bits(meta.id_hf_bits).expect("block holds header") as usize
+    } else {
+        0
+    };
+    let sf_bits = r.read_bits(8).expect("block holds header") as u8;
+    let kp = meta
+        .pattern_code
+        .decode_symbol(&mut r)
+        .ok_or(DecodeError::BadPatternId)? as usize;
+    if kp >= meta.patterns.len() {
+        return Err(DecodeError::BadPatternId);
+    }
+    let books = &meta.books[kp];
+    if book_id >= books.len() {
+        return Err(DecodeError::BadBookId);
+    }
+    let book = &books[book_id];
+    let pattern = &meta.patterns[kp];
+
+    let sf = F8E4M3::from_bits(sf_bits);
+    if sf.is_nan() {
+        return Err(DecodeError::BadScaleFactor);
+    }
+    // Reconstruction multiplies centroids by the true |scale factor| — an
+    // all-zero group has scale 0 and reconstructs to exact zeros, exactly
+    // like the hardware's `pattern × SF` multiplier.
+    let scale_signed = ecco_numerics::round_f16(meta.tensor_scale.expand(sf.to_f32()));
+    let scale_mag = scale_signed.abs();
+
+    // Decode up to group_size symbols; a clipped tail terminates decoding
+    // (prefix-freeness makes the truncation point unambiguous).
+    let mut symbols = Vec::with_capacity(meta.group_size);
+    while symbols.len() < meta.group_size {
+        match book.decode_symbol(&mut r) {
+            Some(s) => symbols.push(s),
+            None => break,
+        }
+    }
+    let decoded = symbols.len();
+    let data_end = r.bit_pos();
+
+    // Reconstruct.
+    let zero_centroid = pattern.centroids()[pattern.zero_symbol() as usize];
+    let mut values: Vec<f32> = Vec::with_capacity(meta.group_size);
+    for &s in &symbols {
+        if s == SCALE_SYMBOL {
+            values.push(scale_signed);
+        } else {
+            values.push(ecco_numerics::round_f16(
+                pattern.centroids()[s as usize] * scale_mag,
+            ));
+        }
+    }
+    for _ in decoded..meta.group_size {
+        values.push(ecco_numerics::round_f16(zero_centroid * scale_mag));
+    }
+
+    // Outliers exist only when nothing was clipped.
+    let mut applied = 0usize;
+    if decoded == meta.group_size {
+        let n_out = (BLOCK_BITS - data_end) / OUTLIER_BITS;
+        for _ in 0..n_out {
+            let pos = r.read_bits(7).expect("outlier fits") as usize;
+            let f8 = F8E4M3::from_bits(r.read_bits(8).expect("outlier fits") as u8);
+            if pos < meta.group_size && !f8.is_nan() {
+                values[pos] = ecco_numerics::round_f16(meta.tensor_scale.expand(f8.to_f32()));
+                applied += 1;
+            }
+        }
+    }
+
+    Ok((
+        values,
+        DecodedGroupInfo {
+            decoded_symbols: decoded,
+            clipped_symbols: meta.group_size - decoded,
+            applied_outliers: applied,
+        },
+    ))
+}
+
+/// Positions and values ranked by |value| descending, excluding the absmax
+/// position — the padding order of step 9.
+fn rank_outliers(group: &[f32], max_pos: usize) -> Vec<(usize, f32)> {
+    let mut v: Vec<(usize, f32)> = group
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| i != max_pos)
+        .map(|(i, &x)| (i, x))
+        .collect();
+    v.sort_by(|a, b| b.1.abs().total_cmp(&a.1.abs()));
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EccoConfig, PatternSelector, TensorMetadata};
+    use ecco_tensor::{synth::SynthSpec, Tensor, TensorKind};
+    use proptest::prelude::*;
+
+    fn meta_for(t: &Tensor) -> TensorMetadata {
+        let cfg = EccoConfig {
+            num_patterns: 16,
+            books_per_pattern: 4,
+            max_calibration_groups: 256,
+            ..EccoConfig::default()
+        };
+        TensorMetadata::calibrate(&[t], &cfg, PatternSelector::MseOptimal)
+    }
+
+    #[test]
+    fn roundtrip_error_bounded() {
+        let t = SynthSpec::for_kind(TensorKind::Weight, 16, 512).seeded(11).generate();
+        let meta = meta_for(&t);
+        for g in t.groups(128) {
+            let (block, info) = encode_group(g, &meta, PatternSelector::MseOptimal);
+            let (out, dinfo) = decode_group(&block, &meta).unwrap();
+            assert_eq!(out.len(), 128);
+            assert_eq!(dinfo.clipped_symbols, info.clipped_symbols);
+            // Reconstruction error bounded by the group scale (15 centroids
+            // over (-1,1) → worst gap well under half the range).
+            let absmax = g.iter().fold(0f32, |m, &x| m.max(x.abs()));
+            for (a, b) in g.iter().zip(&out) {
+                assert!(
+                    (a - b).abs() <= absmax * 0.6 + 1e-3,
+                    "value {a} reconstructed as {b} (absmax {absmax})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scale_position_reconstructs_signed_extreme() {
+        let t = SynthSpec::for_kind(TensorKind::Weight, 8, 512).seeded(12).generate();
+        let meta = meta_for(&t);
+        for g in t.groups(128) {
+            let (block, _) = encode_group(g, &meta, PatternSelector::MseOptimal);
+            let (out, _) = decode_group(&block, &meta).unwrap();
+            let max_pos = (0..128)
+                .max_by(|&a, &b| g[a].abs().total_cmp(&g[b].abs()))
+                .unwrap();
+            let rel = (out[max_pos] - g[max_pos]).abs() / g[max_pos].abs().max(1e-6);
+            assert!(rel < 0.07, "absmax {} -> {}", g[max_pos], out[max_pos]);
+            assert_eq!(
+                out[max_pos].signum(),
+                g[max_pos].signum(),
+                "absmax sign must survive"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_group_roundtrips_to_zero() {
+        let t = SynthSpec::for_kind(TensorKind::Weight, 8, 512).seeded(13).generate();
+        let meta = meta_for(&t);
+        let zeros = vec![0f32; 128];
+        let (block, _info) = encode_group(&zeros, &meta, PatternSelector::MseOptimal);
+        let (out, _) = decode_group(&block, &meta).unwrap();
+        // Whatever pattern/book the zero group lands on (possibly even a
+        // clipped one), reconstruction multiplies centroids by the zero
+        // scale factor: everything must be exactly 0.
+        assert!(out.iter().all(|&v| v == 0.0), "{out:?}");
+    }
+
+    #[test]
+    fn padding_improves_outlier_reconstruction() {
+        // Build a tensor of near-constant groups with planted outliers so
+        // calibration learns short codes for the dominant symbol, leaving
+        // padding space; the padded FP8 value must then beat centroid-only
+        // reconstruction for the secondary outlier.
+        let mut data = Vec::new();
+        for gidx in 0..64usize {
+            let mut g = vec![0.01f32; 128];
+            g[(gidx * 7) % 128] = 8.0; // absmax
+            g[(gidx * 13 + 1) % 128] = 6.0; // secondary outlier
+            data.extend_from_slice(&g);
+        }
+        let t = Tensor::from_vec(64, 128, data);
+        let meta = meta_for(&t);
+
+        let mut g = vec![0.01f32; 128];
+        g[5] = 8.0;
+        g[77] = 6.0;
+        let (block, info) = encode_group(&g, &meta, PatternSelector::MseOptimal);
+        assert!(info.padded_outliers > 0, "expected padding space: {info:?}");
+        let (out, dinfo) = decode_group(&block, &meta).unwrap();
+        assert_eq!(dinfo.applied_outliers, info.padded_outliers);
+        let rel = (out[77] - 6.0).abs() / 6.0;
+        assert!(rel < 0.07, "outlier 6.0 reconstructed as {}", out[77]);
+    }
+
+    #[test]
+    fn clip_point_is_unambiguous() {
+        // Force clipping by building metadata whose codebooks are poorly
+        // matched to the data (uniform books: 4 bits × 128 = 512 > budget).
+        let t = SynthSpec::for_kind(TensorKind::Weight, 8, 512).seeded(15).generate();
+        let mut meta = meta_for(&t);
+        let uniform =
+            ecco_entropy::Codebook::from_frequencies(&[1u64; 16], 4, 4).unwrap();
+        for row in &mut meta.books {
+            for b in row {
+                *b = uniform.clone();
+            }
+        }
+        let g: Vec<f32> = (0..128).map(|i| ((i * 37 % 128) as f32 - 64.0) * 0.01).collect();
+        let (block, info) = encode_group(&g, &meta, PatternSelector::MseOptimal);
+        assert!(info.clipped_symbols > 0, "clipping must occur");
+        let (out, dinfo) = decode_group(&block, &meta).unwrap();
+        assert_eq!(dinfo.clipped_symbols, info.clipped_symbols);
+        assert_eq!(out.len(), 128);
+    }
+
+    #[test]
+    fn corrupt_header_reports_errors() {
+        let t = SynthSpec::for_kind(TensorKind::Weight, 8, 512).seeded(16).generate();
+        let meta = meta_for(&t);
+        let g = t.groups(128).next().unwrap();
+        let (block, _) = encode_group(g, &meta, PatternSelector::MseOptimal);
+        // Corrupt the scale byte into NaN (0x7F) — bits 2..10 hold SF.
+        let mut bytes = *block.as_bytes();
+        bytes[0] |= 0x3F; // high 6 bits of SF
+        bytes[1] |= 0xC0; // low 2 bits of SF
+        let bad = Block64::from_bytes(bytes);
+        assert_eq!(decode_group(&bad, &meta), Err(DecodeError::BadScaleFactor));
+    }
+
+    #[test]
+    fn decode_never_panics_on_random_blocks() {
+        let t = SynthSpec::for_kind(TensorKind::Weight, 8, 512).seeded(17).generate();
+        let meta = meta_for(&t);
+        let mut state = 0x12345678u64;
+        for _ in 0..200 {
+            let mut bytes = [0u8; 64];
+            for b in &mut bytes {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                *b = (state >> 33) as u8;
+            }
+            let block = Block64::from_bytes(bytes);
+            match decode_group(&block, &meta) {
+                Ok((vals, _)) => assert_eq!(vals.len(), 128),
+                Err(_) => {}
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn block_always_64_bytes_and_stats_consistent(seed in 0u64..1000) {
+            let t = SynthSpec::for_kind(TensorKind::KCache, 4, 512).seeded(seed).generate();
+            let meta = meta_for(&t);
+            for g in t.groups(128) {
+                let (block, info) = encode_group(g, &meta, PatternSelector::MinMax);
+                prop_assert_eq!(block.as_bytes().len(), 64);
+                let used = info.header_bits + info.data_bits
+                    + info.padded_outliers * OUTLIER_BITS;
+                prop_assert!(used <= 512, "used {} bits", used);
+                let (out, dinfo) = decode_group(&block, &meta).unwrap();
+                prop_assert_eq!(out.len(), 128);
+                prop_assert_eq!(dinfo.clipped_symbols, info.clipped_symbols);
+                prop_assert_eq!(dinfo.applied_outliers, info.padded_outliers);
+            }
+        }
+    }
+}

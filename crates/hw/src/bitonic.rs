@@ -1,0 +1,175 @@
+//! The bitonic sorting network of the hardware compressor (Figure 9,
+//! stage 1).
+//!
+//! A 128-input bitonic network needs `log₂128 × (log₂128+1)/2 = 28`
+//! compare stages of 64 compare-and-swap units each. The compressor uses
+//! it to obtain, in one pass: the absmax (scale factor), the top-16
+//! |values| with their indices (outlier-padding candidates), and the
+//! group min/max (pattern-selector inputs).
+
+/// The sorting network model. Sorting is by `(|value| descending, index
+/// ascending)` so results are deterministic under ties, matching the
+/// reference codec's stable ranking.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BitonicSorter;
+
+/// Everything the compressor's first stage extracts from one group.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SortOutputs {
+    /// `(index, value)` sorted by |value| descending.
+    pub ranked: Vec<(usize, f32)>,
+    /// Compare stages executed (pipeline depth of the network).
+    pub stages: usize,
+    /// Total compare-and-swap operations (area proxy).
+    pub compare_ops: usize,
+}
+
+impl BitonicSorter {
+    /// Creates the sorter model.
+    pub fn new() -> BitonicSorter {
+        BitonicSorter
+    }
+
+    /// Runs the network over `values`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len()` is not a power of two (networks are built
+    /// for power-of-two lane counts; the codec always passes 128).
+    pub fn sort(&self, values: &[f32]) -> SortOutputs {
+        let n = values.len();
+        assert!(n.is_power_of_two(), "bitonic networks need 2^k lanes");
+        let mut lanes: Vec<(usize, f32)> = values.iter().cloned().enumerate().collect();
+        let mut stages = 0usize;
+        let mut compare_ops = 0usize;
+
+        // Standard bitonic sort: k = size of sorted runs, j = stride.
+        let mut k = 2;
+        while k <= n {
+            let mut j = k / 2;
+            while j > 0 {
+                stages += 1;
+                for i in 0..n {
+                    let l = i ^ j;
+                    if l > i {
+                        compare_ops += 1;
+                        let ascending = (i & k) == 0;
+                        // "ascending" here means toward the composite key
+                        // order: |v| desc, index asc.
+                        let in_order = key_le(&lanes[i], &lanes[l]);
+                        if in_order != ascending {
+                            lanes.swap(i, l);
+                        }
+                    }
+                }
+                j /= 2;
+            }
+            k *= 2;
+        }
+
+        SortOutputs {
+            ranked: lanes,
+            stages,
+            compare_ops,
+        }
+    }
+}
+
+/// Composite key comparison: |a| > |b|, ties broken by lower index first.
+fn key_le(a: &(usize, f32), b: &(usize, f32)) -> bool {
+    match b.1.abs().partial_cmp(&a.1.abs()) {
+        Some(std::cmp::Ordering::Less) => true,
+        Some(std::cmp::Ordering::Greater) => false,
+        _ => a.0 <= b.0,
+    }
+}
+
+impl SortOutputs {
+    /// The absmax `(index, value)` — the group scale factor.
+    pub fn absmax(&self) -> (usize, f32) {
+        self.ranked[0]
+    }
+
+    /// The next `n` largest `(index, value)` pairs after the absmax — the
+    /// outlier-padding candidates.
+    pub fn top_outliers(&self, n: usize) -> &[(usize, f32)] {
+        &self.ranked[1..(1 + n).min(self.ranked.len())]
+    }
+
+    /// `(min, max)` of the raw values excluding the absmax position.
+    pub fn minmax_excluding_absmax(&self) -> (f32, f32) {
+        let mut lo = f32::INFINITY;
+        let mut hi = f32::NEG_INFINITY;
+        for &(_, v) in &self.ranked[1..] {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        if lo > hi {
+            (0.0, 0.0)
+        } else {
+            (lo, hi)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn stage_count_matches_theory() {
+        let out = BitonicSorter::new().sort(&vec![0.0f32; 128]);
+        // log2(128)=7 -> 7*8/2 = 28 stages, 64 CAS units per stage.
+        assert_eq!(out.stages, 28);
+        assert_eq!(out.compare_ops, 28 * 64);
+    }
+
+    #[test]
+    fn sorts_by_absolute_value() {
+        let vals = [0.5f32, -3.0, 1.0, -0.25, 2.0, 0.0, -1.5, 0.75];
+        let out = BitonicSorter::new().sort(&vals);
+        assert_eq!(out.absmax(), (1, -3.0));
+        let mags: Vec<f32> = out.ranked.iter().map(|&(_, v)| v.abs()).collect();
+        assert!(mags.windows(2).all(|w| w[0] >= w[1]), "{mags:?}");
+    }
+
+    #[test]
+    fn ties_break_by_index() {
+        let vals = [1.0f32, -1.0, 1.0, -1.0];
+        let out = BitonicSorter::new().sort(&vals);
+        let idx: Vec<usize> = out.ranked.iter().map(|&(i, _)| i).collect();
+        assert_eq!(idx, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn minmax_excludes_extreme() {
+        let mut vals = vec![0.1f32; 128];
+        vals[7] = -9.0;
+        vals[10] = 0.9;
+        vals[11] = -0.4;
+        let out = BitonicSorter::new().sort(&vals);
+        assert_eq!(out.minmax_excluding_absmax(), (-0.4, 0.9));
+    }
+
+    proptest! {
+        #[test]
+        fn matches_stable_reference_sort(vals in prop::collection::vec(-10.0f32..10.0, 128)) {
+            let out = BitonicSorter::new().sort(&vals);
+            let mut reference: Vec<(usize, f32)> = vals.iter().cloned().enumerate().collect();
+            reference.sort_by(|a, b| {
+                b.1.abs().total_cmp(&a.1.abs()).then(a.0.cmp(&b.0))
+            });
+            prop_assert_eq!(out.ranked, reference);
+        }
+
+        #[test]
+        fn works_for_all_power_of_two_sizes(exp in 1u32..8) {
+            let n = 1usize << exp;
+            let vals: Vec<f32> = (0..n).map(|i| ((i * 37 % 11) as f32) - 5.0).collect();
+            let out = BitonicSorter::new().sort(&vals);
+            prop_assert_eq!(out.ranked.len(), n);
+            prop_assert_eq!(out.stages as u32, exp * (exp + 1) / 2);
+        }
+    }
+}

@@ -1,0 +1,341 @@
+//! The speculative parallel Huffman decoder (Figure 8 of the paper).
+//!
+//! The 512-bit block is cut into 64 segments of 8 bits. Because code
+//! lengths are limited to 2..=8 bits, a segment contains the *start* of
+//! between one and four codes, and any code starting in a segment ends
+//! within a 15-bit window (7-bit overlap into the next segment). Each
+//! segment is decoded speculatively by **8 sub-decoders**, one per
+//! possible entry offset 0..=7; a 6-stage binary concatenation tree then
+//! chains segments by matching each path's end-of-parse offset (`EOP`)
+//! with the next segment's entry offset. The result is bit-exact
+//! sequential Huffman decoding at 64-way parallelism.
+
+use ecco_bits::{Block64, BLOCK_BITS};
+use ecco_core::block::DecodeError;
+use ecco_core::{TensorMetadata, SCALE_SYMBOL};
+use ecco_entropy::Codebook;
+use ecco_numerics::F8E4M3;
+
+/// Bits per decoder segment.
+pub const SEGMENT_BITS: usize = 8;
+/// Number of segments / parallel decoders over a 512-bit block.
+pub const NUM_SEGMENTS: usize = BLOCK_BITS / SEGMENT_BITS;
+/// Speculative sub-decoders per segment (entry offsets 0..=7).
+pub const SUB_DECODERS: usize = 8;
+/// Window bits each sub-decoder sees (8 own + 7 overlap).
+pub const WINDOW_BITS: usize = 15;
+
+/// One speculative decode path through a run of segments.
+#[derive(Clone, Debug, Default)]
+struct Path {
+    /// Decoded symbols with the bit position just after each code.
+    symbols: Vec<(u16, usize)>,
+    /// Entry offset into the segment after the run (0..=7).
+    eop: usize,
+    /// The path hit the end of the block (or an invalid code) and cannot
+    /// continue.
+    terminated: bool,
+}
+
+/// Result of a parallel decode.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParallelDecodeResult {
+    /// The decoded symbol stream (up to the requested count).
+    pub symbols: Vec<u16>,
+    /// Bit position just after the last decoded symbol.
+    pub end_bit: usize,
+    /// Concatenation-tree stages executed.
+    pub merge_stages: usize,
+    /// Sub-decoder invocations (64 segments × 8 offsets when fully used).
+    pub sub_decoder_ops: usize,
+}
+
+/// The parallel decoder bound to one Huffman codebook.
+#[derive(Clone, Debug)]
+pub struct ParallelDecoder<'a> {
+    book: &'a Codebook,
+}
+
+impl<'a> ParallelDecoder<'a> {
+    /// Creates a decoder for `book`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the book's longest code exceeds 8 bits — the hardware's
+    /// 15-bit windows require the 2..=8-bit constraint.
+    pub fn new(book: &'a Codebook) -> ParallelDecoder<'a> {
+        assert!(
+            book.max_len() <= SEGMENT_BITS as u8,
+            "parallel decoding requires codes of at most 8 bits"
+        );
+        ParallelDecoder { book }
+    }
+
+    /// Decodes up to `max_symbols` codes starting at `start_bit`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start_bit` is outside the block.
+    pub fn decode(
+        &self,
+        block: &Block64,
+        start_bit: usize,
+        max_symbols: usize,
+    ) -> ParallelDecodeResult {
+        assert!(start_bit < BLOCK_BITS, "start bit outside block");
+        let first_seg = start_bit / SEGMENT_BITS;
+        let entry_offset = start_bit % SEGMENT_BITS;
+
+        // Stage 1: speculative sub-decoders — 8 paths per segment.
+        let mut sub_decoder_ops = 0usize;
+        let mut runs: Vec<[Path; SUB_DECODERS]> = (first_seg..NUM_SEGMENTS)
+            .map(|seg| {
+                core::array::from_fn(|offset| {
+                    sub_decoder_ops += 1;
+                    self.decode_segment(block, seg, offset)
+                })
+            })
+            .collect();
+
+        // Stages 2..: binary concatenation tree. Odd tails pass through.
+        let mut merge_stages = 0usize;
+        while runs.len() > 1 {
+            merge_stages += 1;
+            let mut next = Vec::with_capacity(runs.len().div_ceil(2));
+            let mut it = runs.into_iter();
+            while let Some(left) = it.next() {
+                match it.next() {
+                    Some(right) => next.push(merge_runs(left, &right)),
+                    None => next.push(left),
+                }
+            }
+            runs = next;
+        }
+
+        let full = &runs[0][entry_offset];
+        let take = full.symbols.len().min(max_symbols);
+        let symbols: Vec<u16> = full.symbols[..take].iter().map(|&(s, _)| s).collect();
+        let end_bit = if take == 0 {
+            start_bit
+        } else {
+            full.symbols[take - 1].1
+        };
+        ParallelDecodeResult {
+            symbols,
+            end_bit,
+            merge_stages,
+            sub_decoder_ops,
+        }
+    }
+
+    /// One sub-decoder: decodes codes starting at `seg×8 + offset` while
+    /// code *starts* stay inside the segment's own 8 bits. Codes may spill
+    /// into the 7-bit overlap window.
+    fn decode_segment(&self, block: &Block64, seg: usize, offset: usize) -> Path {
+        let seg_start = seg * SEGMENT_BITS;
+        let seg_end = seg_start + SEGMENT_BITS;
+        let mut pos = seg_start + offset;
+        let mut path = Path::default();
+        let bytes = block.as_bytes();
+        while pos < seg_end {
+            let mut r = ecco_bits::BitReader::with_limit(bytes, BLOCK_BITS);
+            r.seek(pos);
+            let window = r.peek_bits_padded(self.book.max_len() as u32);
+            match self.book.decode_window(window) {
+                Some((sym, len)) if pos + len as usize <= BLOCK_BITS => {
+                    pos += len as usize;
+                    path.symbols.push((sym, pos));
+                }
+                _ => {
+                    path.terminated = true;
+                    return path;
+                }
+            }
+        }
+        path.eop = pos - seg_end;
+        path
+    }
+}
+
+/// Chains every entry path of `left` with the matching entry path of
+/// `right` (one tree node of the data concatenator).
+fn merge_runs(left: [Path; SUB_DECODERS], right: &[Path; SUB_DECODERS]) -> [Path; SUB_DECODERS] {
+    core::array::from_fn(|o| {
+        let l = &left[o];
+        if l.terminated {
+            return l.clone();
+        }
+        let r = &right[l.eop];
+        let mut symbols = l.symbols.clone();
+        symbols.extend_from_slice(&r.symbols);
+        Path {
+            symbols,
+            eop: r.eop,
+            terminated: r.terminated,
+        }
+    })
+}
+
+/// Full block decompression through the parallel decoder: header parse,
+/// parallel symbol decode, centroid mapping and outlier application —
+/// the functional twin of [`ecco_core::decode_group`], used to prove the
+/// hardware algorithm equivalent to the reference decoder.
+///
+/// # Errors
+///
+/// Returns the same [`DecodeError`]s as the reference decoder.
+pub fn decode_block_parallel(
+    block: &Block64,
+    meta: &TensorMetadata,
+) -> Result<(Vec<f32>, ParallelDecodeResult), DecodeError> {
+    let mut r = block.reader();
+    let book_id = if meta.id_hf_bits > 0 {
+        r.read_bits(meta.id_hf_bits).expect("header fits") as usize
+    } else {
+        0
+    };
+    let sf_bits = r.read_bits(8).expect("header fits") as u8;
+    let kp = meta
+        .pattern_code
+        .decode_symbol(&mut r)
+        .ok_or(DecodeError::BadPatternId)? as usize;
+    if kp >= meta.patterns.len() {
+        return Err(DecodeError::BadPatternId);
+    }
+    let books = &meta.books[kp];
+    if book_id >= books.len() {
+        return Err(DecodeError::BadBookId);
+    }
+    let sf = F8E4M3::from_bits(sf_bits);
+    if sf.is_nan() {
+        return Err(DecodeError::BadScaleFactor);
+    }
+    let scale_signed = ecco_numerics::round_f16(meta.tensor_scale.expand(sf.to_f32()));
+    let scale_mag = scale_signed.abs();
+    let pattern = &meta.patterns[kp];
+
+    let decoder = ParallelDecoder::new(&books[book_id]);
+    let result = decoder.decode(block, r.bit_pos(), meta.group_size);
+
+    // Data mapper (128 parallel lanes in hardware).
+    let zero_centroid = pattern.centroids()[pattern.zero_symbol() as usize];
+    let mut values: Vec<f32> = result
+        .symbols
+        .iter()
+        .map(|&s| {
+            if s == SCALE_SYMBOL {
+                scale_signed
+            } else {
+                ecco_numerics::round_f16(pattern.centroids()[s as usize] * scale_mag)
+            }
+        })
+        .collect();
+    for _ in values.len()..meta.group_size {
+        values.push(ecco_numerics::round_f16(zero_centroid * scale_mag));
+    }
+
+    if result.symbols.len() == meta.group_size {
+        let n_out = (BLOCK_BITS - result.end_bit) / 15;
+        let mut or = block.reader();
+        or.seek(result.end_bit);
+        for _ in 0..n_out {
+            let pos = or.read_bits(7).expect("outlier fits") as usize;
+            let f8 = F8E4M3::from_bits(or.read_bits(8).expect("outlier fits") as u8);
+            if pos < meta.group_size && !f8.is_nan() {
+                values[pos] = ecco_numerics::round_f16(meta.tensor_scale.expand(f8.to_f32()));
+            }
+        }
+    }
+    Ok((values, result))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecco_core::{encode_group, EccoConfig, PatternSelector};
+    use ecco_tensor::{synth::SynthSpec, Tensor, TensorKind};
+    use proptest::prelude::*;
+
+    fn meta_for(t: &Tensor) -> TensorMetadata {
+        let cfg = EccoConfig {
+            num_patterns: 16,
+            books_per_pattern: 4,
+            max_calibration_groups: 128,
+            ..EccoConfig::default()
+        };
+        TensorMetadata::calibrate(&[t], &cfg, PatternSelector::MseOptimal)
+    }
+
+    #[test]
+    fn equivalent_to_sequential_decoder() {
+        let t = SynthSpec::for_kind(TensorKind::Weight, 16, 512).seeded(101).generate();
+        let meta = meta_for(&t);
+        for g in t.groups(128) {
+            let (block, _) = encode_group(g, &meta, PatternSelector::MseOptimal);
+            let (seq, _) = ecco_core::decode_group(&block, &meta).unwrap();
+            let (par, _) = decode_block_parallel(&block, &meta).unwrap();
+            assert_eq!(seq, par, "parallel decode must match sequential");
+        }
+    }
+
+    #[test]
+    fn equivalent_on_clipped_blocks() {
+        // Force clipping with deliberately mismatched 4-bit-uniform books.
+        let t = SynthSpec::for_kind(TensorKind::Weight, 8, 512).seeded(102).generate();
+        let mut meta = meta_for(&t);
+        let uniform = Codebook::from_frequencies(&[1u64; 16], 4, 4).unwrap();
+        for row in &mut meta.books {
+            for b in row {
+                *b = uniform.clone();
+            }
+        }
+        let mut clipped_seen = false;
+        for g in t.groups(128) {
+            let (block, info) = encode_group(g, &meta, PatternSelector::MseOptimal);
+            clipped_seen |= info.clipped_symbols > 0;
+            let (seq, sinfo) = ecco_core::decode_group(&block, &meta).unwrap();
+            let (par, pres) = decode_block_parallel(&block, &meta).unwrap();
+            assert_eq!(seq, par);
+            assert_eq!(sinfo.decoded_symbols, pres.symbols.len());
+        }
+        assert!(clipped_seen, "test must exercise the clipped path");
+    }
+
+    #[test]
+    fn six_merge_stages_for_full_block() {
+        let t = SynthSpec::for_kind(TensorKind::Weight, 8, 512).seeded(103).generate();
+        let meta = meta_for(&t);
+        let g = t.groups(128).next().unwrap();
+        let (block, _) = encode_group(g, &meta, PatternSelector::MseOptimal);
+        let (_, res) = decode_block_parallel(&block, &meta).unwrap();
+        // Data starts within the first couple of segments; merging ~63-64
+        // segments takes exactly 6 binary stages.
+        assert_eq!(res.merge_stages, 6);
+        assert!(res.sub_decoder_ops <= NUM_SEGMENTS * SUB_DECODERS);
+        assert!(res.sub_decoder_ops >= (NUM_SEGMENTS - 4) * SUB_DECODERS);
+    }
+
+    #[test]
+    fn window_constraint_enforced() {
+        let wide = Codebook::from_frequencies(&(1u64..=64).collect::<Vec<_>>(), 1, 15).unwrap();
+        if wide.max_len() > 8 {
+            let result = std::panic::catch_unwind(|| ParallelDecoder::new(&wide));
+            assert!(result.is_err(), "books wider than 8 bits must be rejected");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        #[test]
+        fn equivalence_under_random_tensors(seed in 0u64..500) {
+            let t = SynthSpec::for_kind(TensorKind::KCache, 4, 512).seeded(seed).generate();
+            let meta = meta_for(&t);
+            for g in t.groups(128) {
+                let (block, _) = encode_group(g, &meta, PatternSelector::MinMax);
+                let (seq, _) = ecco_core::decode_group(&block, &meta).unwrap();
+                let (par, _) = decode_block_parallel(&block, &meta).unwrap();
+                prop_assert_eq!(seq, par);
+            }
+        }
+    }
+}

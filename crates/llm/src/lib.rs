@@ -1,0 +1,31 @@
+//! LLM model zoo and decode-workload generation for the simulator.
+//!
+//! Provides the architectural parameters of every model the paper
+//! evaluates (LLaMA 7B–65B, LLaMA-2 7B–70B, Mistral-7B, LLaMA-3.1-8B),
+//! converts a `(model, batch, seq)` decode step into the kernel stream the
+//! simulator times, and accounts GPU memory footprints per scheme
+//! (Figure 12).
+//!
+//! # Examples
+//!
+//! ```
+//! use ecco_llm::{DecodeWorkload, ModelSpec};
+//! use ecco_sim::{ExecScheme, GpuSpec, SimEngine};
+//!
+//! let wl = DecodeWorkload::new(ModelSpec::llama_13b(), 8, 2048);
+//! let engine = SimEngine::new(GpuSpec::a100());
+//! let fp16 = wl.step_time(&engine, &ExecScheme::fp16_trt());
+//! let ecco = wl.step_time(&engine, &ExecScheme::ecco());
+//! assert!(fp16.total / ecco.total > 2.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod memory;
+pub mod models;
+pub mod workload;
+
+pub use memory::MemoryFootprint;
+pub use models::ModelSpec;
+pub use workload::{DecodeWorkload, PrefillWorkload};

@@ -1,0 +1,102 @@
+//! GPU memory footprint accounting (Figure 12).
+
+use ecco_sim::ExecScheme;
+
+use crate::models::ModelSpec;
+
+/// GPU memory consumption of one serving configuration, in bytes.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct MemoryFootprint {
+    /// Model weights at the scheme's stored precision.
+    pub weights: f64,
+    /// KV cache for `batch × seq` tokens at the scheme's KV precision.
+    pub kv_cache: f64,
+    /// Shared compression metadata (Ecco's codebooks/patterns; quantizer
+    /// scales are already folded into the per-value bit widths).
+    pub metadata: f64,
+}
+
+impl MemoryFootprint {
+    /// Total bytes.
+    pub fn total(&self) -> f64 {
+        self.weights + self.kv_cache + self.metadata
+    }
+
+    /// Total in GiB-style gigabytes (10⁹, as the paper plots).
+    pub fn total_gb(&self) -> f64 {
+        self.total() / 1e9
+    }
+}
+
+/// Computes the footprint of serving `model` at `batch × seq` under
+/// `scheme`.
+///
+/// Ecco's shared metadata is ~4 KB per tensor (64 patterns × 15 FP16
+/// centroids + 256 canonical codebooks as length vectors), with 7 weight
+/// tensors per layer plus the two cache codecs.
+pub fn footprint(
+    model: &ModelSpec,
+    scheme: &ExecScheme,
+    batch: usize,
+    seq: usize,
+) -> MemoryFootprint {
+    let weights = model.params() as f64 * scheme.weight_bits / 8.0;
+    let kv_elems = (model.layers * 2 * model.kv_dim() * batch * seq) as f64;
+    let kv_cache = kv_elems * scheme.kv_bits / 8.0;
+    let metadata = if scheme.decompressor.is_some() {
+        (model.layers * 7 + 2) as f64 * 4096.0
+    } else {
+        0.0
+    };
+    MemoryFootprint {
+        weights,
+        kv_cache,
+        metadata,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fp16_llama7b_matches_paper_numbers() {
+        // Introduction: KV cache 34.4 GB of 47.3 GB total for LLaMA-7B,
+        // batch 32, seq 2048.
+        let f = footprint(
+            &ModelSpec::llama_7b(),
+            &ExecScheme::fp16_trt(),
+            32,
+            2048,
+        );
+        assert!((f.kv_cache / 1e9 - 34.4).abs() < 0.5, "kv {} GB", f.kv_cache / 1e9);
+        assert!((f.total_gb() - 47.3).abs() < 1.5, "total {} GB", f.total_gb());
+    }
+
+    #[test]
+    fn ecco_reduction_close_to_4x() {
+        let m = ModelSpec::llama_7b();
+        let fp16 = footprint(&m, &ExecScheme::fp16_trt(), 32, 2048);
+        let ecco = footprint(&m, &ExecScheme::ecco(), 32, 2048);
+        let r = fp16.total() / ecco.total();
+        assert!(r > 3.9 && r <= 4.0, "reduction {r} (paper: 3.98x)");
+    }
+
+    #[test]
+    fn metadata_is_negligible() {
+        let m = ModelSpec::llama_7b();
+        let ecco = footprint(&m, &ExecScheme::ecco(), 32, 2048);
+        assert!(ecco.metadata / ecco.total() < 1e-3);
+    }
+
+    #[test]
+    fn kv_grows_linearly_with_seq_and_batch() {
+        let m = ModelSpec::llama_13b();
+        let s = ExecScheme::fp16_trt();
+        let a = footprint(&m, &s, 8, 1024).kv_cache;
+        let b = footprint(&m, &s, 16, 1024).kv_cache;
+        let c = footprint(&m, &s, 8, 2048).kv_cache;
+        assert!((b / a - 2.0).abs() < 1e-12);
+        assert!((c / a - 2.0).abs() < 1e-12);
+    }
+}

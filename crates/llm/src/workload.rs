@@ -1,0 +1,251 @@
+//! Decode-step workloads: model → kernel stream.
+
+use ecco_sim::{ExecScheme, Kernel, SimEngine, StepTime};
+use serde::{Deserialize, Serialize};
+
+use crate::models::ModelSpec;
+
+/// One auto-regressive decode step of `batch` sequences at context length
+/// `seq`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DecodeWorkload {
+    /// The model being served.
+    pub model: ModelSpec,
+    /// Sequences decoded together.
+    pub batch: usize,
+    /// Current context length (KV entries per sequence).
+    pub seq: usize,
+}
+
+impl DecodeWorkload {
+    /// Creates a workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` or `seq` is zero.
+    pub fn new(model: ModelSpec, batch: usize, seq: usize) -> DecodeWorkload {
+        assert!(batch > 0 && seq > 0, "batch and seq must be positive");
+        DecodeWorkload { model, batch, seq }
+    }
+
+    /// Expands the decode step into the kernel stream TensorRT-LLM-style
+    /// runtimes launch: per layer a fused QKV projection, rotary +
+    /// attention, output projection, fused gate/up, SiLU·mul, down
+    /// projection, two norms — plus any scheme-specific extra kernels
+    /// (QuaRot's online rotations), plus the final norm and LM head.
+    pub fn kernels(&self, scheme: &ExecScheme) -> Vec<Kernel> {
+        let m = &self.model;
+        let b = self.batch;
+        let h = m.hidden;
+        let kvd = m.kv_dim();
+        let mut out = Vec::with_capacity(m.layers * (9 + scheme.extra_kernels_per_layer) + 2);
+        for _ in 0..m.layers {
+            out.push(Kernel::elementwise(b * h)); // input RMSNorm
+            out.push(Kernel::gemm(b, h + 2 * kvd, h)); // fused QKV
+            out.push(Kernel::elementwise(b * (h + kvd))); // rotary embed
+            out.push(Kernel::AttentionDecode {
+                batch: b,
+                heads: m.heads,
+                kv_heads: m.kv_heads,
+                head_dim: m.head_dim,
+                seq: self.seq,
+            });
+            out.push(Kernel::gemm(b, h, h)); // O projection
+            out.push(Kernel::elementwise(b * h)); // post-attn RMSNorm
+            out.push(Kernel::gemm(b, 2 * m.ffn, h)); // fused gate+up
+            out.push(Kernel::elementwise(b * m.ffn)); // SiLU · mul
+            out.push(Kernel::gemm(b, h, m.ffn)); // down projection
+            for _ in 0..scheme.extra_kernels_per_layer {
+                out.push(Kernel::Elementwise {
+                    elems: b * h,
+                    flops_per_elem: scheme.extra_flops_per_act_elem,
+                });
+            }
+        }
+        out.push(Kernel::elementwise(b * h)); // final norm
+        out.push(Kernel::gemm(b, m.vocab, h)); // LM head
+        out
+    }
+
+    /// Times one decode step under `scheme`.
+    pub fn step_time(&self, engine: &SimEngine, scheme: &ExecScheme) -> StepTime {
+        engine.step_time(&self.kernels(scheme), scheme)
+    }
+
+    /// Total sector-level memory requests of one decode step.
+    pub fn memory_requests(&self, engine: &SimEngine, scheme: &ExecScheme) -> u64 {
+        self.kernels(scheme)
+            .iter()
+            .map(|k| engine.memory_requests(k, scheme))
+            .sum()
+    }
+}
+
+/// One prefill pass over a `batch × prompt_len` prompt.
+///
+/// The paper omits prefill from its evaluation because it is
+/// compute-bound, runs once, and is a negligible share of long decodes;
+/// this workload exists to *validate* that claim in the simulator (see
+/// `prefill_is_compute_bound`).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PrefillWorkload {
+    /// The model being served.
+    pub model: ModelSpec,
+    /// Prompts processed together.
+    pub batch: usize,
+    /// Prompt length in tokens.
+    pub prompt_len: usize,
+}
+
+impl PrefillWorkload {
+    /// Creates a prefill workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` or `prompt_len` is zero.
+    pub fn new(model: ModelSpec, batch: usize, prompt_len: usize) -> PrefillWorkload {
+        assert!(batch > 0 && prompt_len > 0, "batch and prompt must be positive");
+        PrefillWorkload {
+            model,
+            batch,
+            prompt_len,
+        }
+    }
+
+    /// The prefill kernel stream: the same projections as decode but with
+    /// `m = batch × prompt_len` rows, plus causal self-attention over the
+    /// prompt (modeled as a decode-attention kernel at the mean causal
+    /// context `prompt_len / 2` per token).
+    pub fn kernels(&self, scheme: &ExecScheme) -> Vec<Kernel> {
+        let m = &self.model;
+        let rows = self.batch * self.prompt_len;
+        let h = m.hidden;
+        let kvd = m.kv_dim();
+        let mut out = Vec::with_capacity(m.layers * 9 + 2);
+        for _ in 0..m.layers {
+            out.push(Kernel::elementwise(rows * h));
+            out.push(Kernel::gemm(rows, h + 2 * kvd, h));
+            out.push(Kernel::elementwise(rows * (h + kvd)));
+            out.push(Kernel::AttentionPrefill {
+                batch: self.batch,
+                heads: m.heads,
+                kv_heads: m.kv_heads,
+                head_dim: m.head_dim,
+                prompt: self.prompt_len,
+            });
+            out.push(Kernel::gemm(rows, h, h));
+            out.push(Kernel::elementwise(rows * h));
+            out.push(Kernel::gemm(rows, 2 * m.ffn, h));
+            out.push(Kernel::elementwise(rows * m.ffn));
+            out.push(Kernel::gemm(rows, h, m.ffn));
+            for _ in 0..scheme.extra_kernels_per_layer {
+                out.push(Kernel::Elementwise {
+                    elems: rows * h,
+                    flops_per_elem: scheme.extra_flops_per_act_elem,
+                });
+            }
+        }
+        out.push(Kernel::elementwise(rows * h));
+        out.push(Kernel::gemm(rows, m.vocab, h));
+        out
+    }
+
+    /// Times the prefill pass under `scheme`.
+    pub fn step_time(&self, engine: &SimEngine, scheme: &ExecScheme) -> StepTime {
+        engine.step_time(&self.kernels(scheme), scheme)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecco_sim::GpuSpec;
+
+    fn engine() -> SimEngine {
+        SimEngine::new(GpuSpec::a100())
+    }
+
+    #[test]
+    fn kernel_count_scales_with_layers() {
+        let wl = DecodeWorkload::new(ModelSpec::llama_7b(), 1, 128);
+        let n = wl.kernels(&ExecScheme::fp16_trt()).len();
+        assert_eq!(n, 32 * 9 + 2);
+        let nq = wl.kernels(&ExecScheme::quarot()).len();
+        assert_eq!(nq, 32 * (9 + 6) + 2);
+    }
+
+    #[test]
+    fn ecco_speedup_in_paper_range() {
+        // Figure 11a regime: LLaMA-13B, seq 2048. The paper reports
+        // 2.6–3.2x vs TensorRT FP16 across batch sizes.
+        let e = engine();
+        for batch in [1, 8, 64] {
+            let wl = DecodeWorkload::new(ModelSpec::llama_13b(), batch, 2048);
+            let fp16 = wl.step_time(&e, &ExecScheme::fp16_trt()).total;
+            let ecco = wl.step_time(&e, &ExecScheme::ecco()).total;
+            let s = fp16 / ecco;
+            assert!(s > 2.0 && s < 4.5, "batch {batch}: speedup {s}");
+        }
+    }
+
+    #[test]
+    fn gqa_models_gain_less() {
+        // Figure 11c: Mistral-7B (GQA) shows a smaller Ecco speedup than
+        // the size-comparable LLaMA-7B (MHA) at long context.
+        let e = engine();
+        let mha = DecodeWorkload::new(ModelSpec::llama_7b(), 32, 4096);
+        let gqa = DecodeWorkload::new(ModelSpec::mistral_7b(), 32, 4096);
+        let s_mha = mha.step_time(&e, &ExecScheme::fp16_trt()).total
+            / mha.step_time(&e, &ExecScheme::ecco()).total;
+        let s_gqa = gqa.step_time(&e, &ExecScheme::fp16_trt()).total
+            / gqa.step_time(&e, &ExecScheme::ecco()).total;
+        assert!(
+            s_gqa < s_mha,
+            "GQA speedup {s_gqa} must trail MHA speedup {s_mha}"
+        );
+    }
+
+    #[test]
+    fn longer_context_grows_attention_share() {
+        let e = engine();
+        let short = DecodeWorkload::new(ModelSpec::llama_13b(), 8, 128)
+            .step_time(&e, &ExecScheme::fp16_trt());
+        let long = DecodeWorkload::new(ModelSpec::llama_13b(), 8, 4096)
+            .step_time(&e, &ExecScheme::fp16_trt());
+        let share_short = short.attention / short.total;
+        let share_long = long.attention / long.total;
+        assert!(share_long > share_short);
+    }
+
+    #[test]
+    fn prefill_is_compute_bound() {
+        // The paper's justification for omitting prefill: at prompt 1024,
+        // compression buys little because the GEMMs are compute-bound.
+        let e = engine();
+        let pf = PrefillWorkload::new(ModelSpec::llama_13b(), 4, 1024);
+        let fp16 = pf.step_time(&e, &ExecScheme::fp16_trt()).total;
+        let ecco = pf.step_time(&e, &ExecScheme::ecco()).total;
+        let speedup = fp16 / ecco;
+        assert!(
+            speedup < 1.5,
+            "prefill speedup {speedup} should be small (compute-bound)"
+        );
+
+        // And prefill runs once while decode runs per token: for a
+        // 512-token generation its share of total time is minor.
+        let decode = DecodeWorkload::new(ModelSpec::llama_13b(), 4, 1024)
+            .step_time(&e, &ExecScheme::fp16_trt())
+            .total;
+        assert!(fp16 < decode * 512.0 * 0.25, "prefill is a minor share");
+    }
+
+    #[test]
+    fn request_counts_drop_under_compression() {
+        let e = engine();
+        let wl = DecodeWorkload::new(ModelSpec::llama_13b(), 16, 2048);
+        let r16 = wl.memory_requests(&e, &ExecScheme::fp16_trt());
+        let re = wl.memory_requests(&e, &ExecScheme::ecco());
+        let ratio = r16 as f64 / re as f64;
+        assert!(ratio > 3.0, "request ratio {ratio}");
+    }
+}

@@ -1,0 +1,353 @@
+//! OCP 8-bit floating-point formats (E4M3 and E5M2).
+//!
+//! Ecco stores each group's scale factor — and each padded outlier value —
+//! as an FP8 byte inside the compressed block (Figure 6a of the paper), so
+//! the encode/decode here is on the codec's critical path.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Encodes a finite non-negative `f64` into a minifloat magnitude with
+/// `mant` mantissa bits and bias `bias`. `e_max` is the largest usable
+/// unbiased exponent (E4M3 uses its top exponent field, E5M2 reserves it for
+/// inf/NaN), `max_q` the largest mantissa-unit value representable at
+/// `e_max` (14 for E4M3 where `1.111 × 2^8` is NaN, 11 for E5M2). Returns
+/// the 7-bit magnitude code; the caller adds the sign bit.
+fn encode_magnitude(a: f64, mant: u32, bias: i32, e_max: i32, max_q: u32) -> u8 {
+    debug_assert!(a >= 0.0);
+    if a == 0.0 {
+        return 0;
+    }
+    let e_min = 1 - bias; // unbiased exponent of the smallest normal
+    let saturated = ((((e_max + bias) as u32) << mant) | (max_q - (1 << mant))) as u8;
+    // floor(log2 a) from the f64 bit pattern (a > 0, normal in f64).
+    let mut e = ((a.to_bits() >> 52) & 0x7FF) as i32 - 1023;
+    if e < e_min {
+        e = e_min; // subnormal regime: fixed exponent, no implicit bit
+    }
+    if e > e_max {
+        return saturated;
+    }
+    // Mantissa in units of 2^(e - mant): normals land in [2^mant, 2^(mant+1)).
+    let unit = ((e - mant as i32) as f64).exp2();
+    let mut q = (a / unit).round_ties_even() as u32;
+    if q >= (2 << mant) {
+        e += 1;
+        q = 1 << mant;
+        if e > e_max {
+            return saturated;
+        }
+    }
+    if q >= (1 << mant) {
+        // Normal number; clamp anything that would spill into NaN space.
+        if e == e_max && q > max_q {
+            return saturated;
+        }
+        ((((e + bias) as u32) << mant) | (q - (1 << mant))) as u8
+    } else {
+        // Subnormal (only reachable when e == e_min).
+        q as u8
+    }
+}
+
+/// Decodes the 7-bit magnitude of a minifloat.
+fn decode_magnitude(code: u8, mant: u32, bias: i32) -> f64 {
+    let exp_field = (code as u32) >> mant;
+    let mant_field = (code as u32) & ((1 << mant) - 1);
+    if exp_field == 0 {
+        mant_field as f64 * ((1 - bias - mant as i32) as f64).exp2()
+    } else {
+        let m = (mant_field | (1 << mant)) as f64;
+        m * ((exp_field as i32 - bias - mant as i32) as f64).exp2()
+    }
+}
+
+/// An OCP FP8 E4M3 value: 1 sign, 4 exponent (bias 7), 3 mantissa bits.
+///
+/// E4M3 has no infinities; `S.1111.111` is NaN and the largest finite value
+/// is ±448. Conversions saturate (the behaviour of GPU FP8 cast units).
+///
+/// # Examples
+///
+/// ```
+/// use ecco_numerics::F8E4M3;
+///
+/// let x = F8E4M3::from_f32(0.8);
+/// assert!((x.to_f32() - 0.8).abs() < 0.05);
+/// assert_eq!(F8E4M3::from_f32(1e9).to_f32(), 448.0); // saturates
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct F8E4M3(u8);
+
+impl F8E4M3 {
+    /// Largest finite value (1.75 × 2⁸).
+    pub const MAX_FINITE: f32 = 448.0;
+    /// Smallest positive normal value (2⁻⁶).
+    pub const MIN_NORMAL: f32 = 0.015625;
+    /// Smallest positive subnormal value (2⁻⁹).
+    pub const MIN_SUBNORMAL: f32 = 0.001953125;
+    /// The canonical NaN encoding.
+    pub const NAN: F8E4M3 = F8E4M3(0x7F);
+
+    const MANT_BITS: u32 = 3;
+    const BIAS: i32 = 7;
+
+    /// Creates a value from its raw byte encoding.
+    #[inline]
+    pub const fn from_bits(bits: u8) -> F8E4M3 {
+        F8E4M3(bits)
+    }
+
+    /// Returns the raw byte encoding.
+    #[inline]
+    pub const fn to_bits(self) -> u8 {
+        self.0
+    }
+
+    /// Converts from `f32` with round-to-nearest-even, saturating to ±448.
+    pub fn from_f32(value: f32) -> F8E4M3 {
+        if value.is_nan() {
+            return F8E4M3::NAN;
+        }
+        let sign = if value.is_sign_negative() { 0x80 } else { 0 };
+        // Top exponent field 15 (unbiased 8) is usable; 1.111 × 2^8 is NaN,
+        // so the largest mantissa-unit value there is 14 (1.110 × 2^8 = 448).
+        let mag = encode_magnitude(value.abs() as f64, Self::MANT_BITS, Self::BIAS, 8, 14);
+        F8E4M3(sign | mag)
+    }
+
+    /// Converts to `f32` exactly.
+    pub fn to_f32(self) -> f32 {
+        if self.is_nan() {
+            return f32::NAN;
+        }
+        let mag = decode_magnitude(self.0 & 0x7F, Self::MANT_BITS, Self::BIAS);
+        let v = mag as f32;
+        if self.0 & 0x80 != 0 {
+            -v
+        } else {
+            v
+        }
+    }
+
+    /// Returns `true` when the encoding is one of the two NaN codes.
+    #[inline]
+    pub fn is_nan(self) -> bool {
+        (self.0 & 0x7F) == 0x7F
+    }
+}
+
+impl From<f32> for F8E4M3 {
+    fn from(value: f32) -> F8E4M3 {
+        F8E4M3::from_f32(value)
+    }
+}
+
+impl fmt::Debug for F8E4M3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "F8E4M3({} = {:#04x})", self.to_f32(), self.0)
+    }
+}
+
+impl fmt::Display for F8E4M3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_f32())
+    }
+}
+
+/// An OCP FP8 E5M2 value: 1 sign, 5 exponent (bias 15), 2 mantissa bits.
+///
+/// Wider range (±57344) but coarser mantissa than [`F8E4M3`]. Conversions
+/// saturate to the largest finite value rather than producing infinities.
+///
+/// # Examples
+///
+/// ```
+/// use ecco_numerics::F8E5M2;
+///
+/// let x = F8E5M2::from_f32(1000.0);
+/// assert_eq!(x.to_f32(), 1024.0);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct F8E5M2(u8);
+
+impl F8E5M2 {
+    /// Largest finite value (1.75 × 2¹⁵).
+    pub const MAX_FINITE: f32 = 57344.0;
+    /// The canonical NaN encoding.
+    pub const NAN: F8E5M2 = F8E5M2(0x7E);
+
+    const MANT_BITS: u32 = 2;
+    const BIAS: i32 = 15;
+
+    /// Creates a value from its raw byte encoding.
+    #[inline]
+    pub const fn from_bits(bits: u8) -> F8E5M2 {
+        F8E5M2(bits)
+    }
+
+    /// Returns the raw byte encoding.
+    #[inline]
+    pub const fn to_bits(self) -> u8 {
+        self.0
+    }
+
+    /// Converts from `f32` with round-to-nearest-even, saturating to ±57344.
+    pub fn from_f32(value: f32) -> F8E5M2 {
+        if value.is_nan() {
+            return F8E5M2::NAN;
+        }
+        let sign = if value.is_sign_negative() { 0x80 } else { 0 };
+        // Exponent field 31 is inf/NaN space: top usable unbiased exponent is
+        // 15 (field 30), where all four mantissa codes are finite (max_q 7 =
+        // 1.11 × 2^15 = 57344 in units of 2^13).
+        let mag = encode_magnitude(value.abs() as f64, Self::MANT_BITS, Self::BIAS, 15, 7);
+        F8E5M2(sign | mag)
+    }
+
+    /// Converts to `f32` exactly (infinities decode to infinities).
+    pub fn to_f32(self) -> f32 {
+        let exp_field = (self.0 >> Self::MANT_BITS) & 0x1F;
+        let mant_field = self.0 & 0x03;
+        if exp_field == 0x1F {
+            let v = if mant_field == 0 {
+                f32::INFINITY
+            } else {
+                f32::NAN
+            };
+            return if self.0 & 0x80 != 0 { -v } else { v };
+        }
+        let mag = decode_magnitude(self.0 & 0x7F, Self::MANT_BITS, Self::BIAS);
+        let v = mag as f32;
+        if self.0 & 0x80 != 0 {
+            -v
+        } else {
+            v
+        }
+    }
+
+    /// Returns `true` when the encoding is a NaN code.
+    #[inline]
+    pub fn is_nan(self) -> bool {
+        (self.0 & 0x7C) == 0x7C && (self.0 & 0x03) != 0
+    }
+}
+
+impl From<f32> for F8E5M2 {
+    fn from(value: f32) -> F8E5M2 {
+        F8E5M2::from_f32(value)
+    }
+}
+
+impl fmt::Debug for F8E5M2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "F8E5M2({} = {:#04x})", self.to_f32(), self.0)
+    }
+}
+
+impl fmt::Display for F8E5M2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_f32())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn e4m3_known_values() {
+        assert_eq!(F8E4M3::from_f32(0.0).to_bits(), 0);
+        assert_eq!(F8E4M3::from_f32(1.0).to_bits(), 0x38);
+        assert_eq!(F8E4M3::from_f32(-1.0).to_bits(), 0xB8);
+        assert_eq!(F8E4M3::from_f32(448.0).to_f32(), 448.0);
+        assert_eq!(F8E4M3::from_f32(0.015625).to_f32(), 0.015625);
+        assert_eq!(F8E4M3::from_f32(0.001953125).to_f32(), 0.001953125);
+    }
+
+    #[test]
+    fn e4m3_saturates_not_nan() {
+        for big in [449.0f32, 500.0, 1e9, f32::INFINITY] {
+            let v = F8E4M3::from_f32(big);
+            assert!(!v.is_nan(), "{big}");
+            assert_eq!(v.to_f32(), 448.0, "{big}");
+        }
+        assert_eq!(F8E4M3::from_f32(-1e9).to_f32(), -448.0);
+    }
+
+    #[test]
+    fn e4m3_nan() {
+        assert!(F8E4M3::from_f32(f32::NAN).is_nan());
+        assert!(F8E4M3::NAN.to_f32().is_nan());
+    }
+
+    #[test]
+    fn e5m2_known_values() {
+        assert_eq!(F8E5M2::from_f32(1.0).to_f32(), 1.0);
+        assert_eq!(F8E5M2::from_f32(57344.0).to_f32(), 57344.0);
+        assert_eq!(F8E5M2::from_f32(1e9).to_f32(), 57344.0);
+        assert_eq!(F8E5M2::from_f32(-0.25).to_f32(), -0.25);
+    }
+
+    #[test]
+    fn e4m3_all_codes_roundtrip() {
+        for bits in 0u8..=u8::MAX {
+            let v = F8E4M3::from_bits(bits);
+            if v.is_nan() {
+                continue;
+            }
+            let f = v.to_f32();
+            let back = F8E4M3::from_f32(f);
+            // -0.0 encodes back to +0.0 magnitude with sign bit: accept both.
+            assert_eq!(
+                back.to_f32(),
+                f,
+                "bits {bits:#04x} decoded to {f}, re-encoded to {}",
+                back.to_f32()
+            );
+        }
+    }
+
+    #[test]
+    fn e5m2_all_codes_roundtrip() {
+        for bits in 0u8..=u8::MAX {
+            let v = F8E5M2::from_bits(bits);
+            if v.is_nan() || v.to_f32().is_infinite() {
+                continue;
+            }
+            let f = v.to_f32();
+            assert_eq!(F8E5M2::from_f32(f).to_f32(), f, "bits {bits:#04x}");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn e4m3_relative_error_bounded(x in -400.0f32..400.0) {
+            let v = F8E4M3::from_f32(x).to_f32();
+            if x.abs() >= F8E4M3::MIN_NORMAL {
+                // 3 mantissa bits -> relative error <= 2^-4.
+                prop_assert!((v - x).abs() <= x.abs() * 0.0625 + 1e-9, "{x} -> {v}");
+            } else {
+                prop_assert!((v - x).abs() <= F8E4M3::MIN_SUBNORMAL * 0.5 + 1e-9);
+            }
+        }
+
+        #[test]
+        fn e4m3_monotonic(a in -440.0f32..440.0, b in -440.0f32..440.0) {
+            let (qa, qb) = (F8E4M3::from_f32(a).to_f32(), F8E4M3::from_f32(b).to_f32());
+            if a <= b {
+                prop_assert!(qa <= qb, "{a}->{qa}, {b}->{qb}");
+            }
+        }
+
+        #[test]
+        fn e5m2_relative_error_bounded(x in -50000.0f32..50000.0) {
+            let v = F8E5M2::from_f32(x).to_f32();
+            if x.abs() >= 2f32.powi(-14) {
+                prop_assert!((v - x).abs() <= x.abs() * 0.125 + 1e-9, "{x} -> {v}");
+            }
+        }
+    }
+}

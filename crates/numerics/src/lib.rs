@@ -1,0 +1,62 @@
+//! Software floating-point numerics for the Ecco reproduction.
+//!
+//! The Ecco compression format stores per-group scale factors as **FP8
+//! (E4M3)** values normalized by a **power-of-two per-tensor scale**, and
+//! reconstructs **FP16** values in the decompressor by pure exponent
+//! adjustment (Section 3.2 / Figure 8 of the paper). None of that exists in
+//! `std`, and external float crates are out of scope for this reproduction,
+//! so this crate implements bit-exact software conversions:
+//!
+//! * [`F16`] — IEEE 754 binary16 with round-to-nearest-even conversion,
+//! * [`F8E4M3`] — OCP 8-bit float, 4 exponent / 3 mantissa bits (no
+//!   infinities, single NaN, saturating at ±448),
+//! * [`F8E5M2`] — OCP 8-bit float, 5 exponent / 2 mantissa bits,
+//! * [`Po2Scale`] — power-of-two scale factors applied by exponent
+//!   arithmetic, mirroring the `Exp Adder` blocks of the decompressor.
+//!
+//! # Examples
+//!
+//! ```
+//! use ecco_numerics::{F16, F8E4M3, Po2Scale};
+//!
+//! let x = F16::from_f32(0.1234);
+//! assert!((x.to_f32() - 0.1234).abs() < 1e-3);
+//!
+//! // A group absmax of 37.5 is stored as FP8 at a power-of-two tensor scale.
+//! let scale = Po2Scale::for_absmax(37.5, F8E4M3::MAX_FINITE);
+//! let stored = F8E4M3::from_f32(scale.compress(37.5));
+//! let restored = scale.expand(stored.to_f32());
+//! assert!((restored - 37.5).abs() / 37.5 < 0.05);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod f16;
+mod f8;
+mod scale;
+
+pub use f16::F16;
+pub use f8::{F8E4M3, F8E5M2};
+pub use scale::Po2Scale;
+
+/// Rounds `x` to the nearest representable IEEE binary16 value and back,
+/// i.e. the value an FP16 datapath would observe.
+///
+/// # Examples
+///
+/// ```
+/// let y = ecco_numerics::round_f16(1.0009765625f32);
+/// assert_eq!(y, 1.0009765625); // exactly representable in binary16
+/// ```
+#[inline]
+pub fn round_f16(x: f32) -> f32 {
+    F16::from_f32(x).to_f32()
+}
+
+/// Rounds every element of `data` through binary16 in place.
+pub fn round_f16_slice(data: &mut [f32]) {
+    for v in data {
+        *v = round_f16(*v);
+    }
+}

@@ -1,0 +1,222 @@
+//! A set-associative, sectored L2 cache model.
+//!
+//! The paper stores *compressed* blocks in the L2 ("optimizes both DRAM
+//! and L2 cache capacity utilization"), so a 4×-compressed working set
+//! enjoys 4× the effective cache capacity — the mechanism behind the
+//! Section 6.1 observation that accelerators with small L2 caches benefit
+//! even more. This model quantifies that: it simulates tag-level behaviour
+//! of an L2 under address traces at sector granularity with LRU
+//! replacement, and is used by the platform-sensitivity ablation.
+
+/// Configuration of the simulated cache.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total data capacity in bytes.
+    pub capacity: usize,
+    /// Line size in bytes (four 32-byte sectors on NVIDIA parts).
+    pub line_bytes: usize,
+    /// Associativity (ways per set).
+    pub ways: usize,
+}
+
+impl CacheConfig {
+    /// An A100-like 40 MB L2 (128-byte lines, 16-way).
+    pub fn a100_l2() -> CacheConfig {
+        CacheConfig {
+            capacity: 40 * 1024 * 1024,
+            line_bytes: 128,
+            ways: 16,
+        }
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.capacity / (self.line_bytes * self.ways)
+    }
+}
+
+/// Access statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Total line-granular accesses.
+    pub accesses: u64,
+    /// Hits.
+    pub hits: u64,
+    /// Misses (fills from HBM).
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Hit rate in `[0, 1]` (0 when no accesses were made).
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// The cache model: LRU, physically indexed by line address.
+#[derive(Clone, Debug)]
+pub struct CacheSim {
+    config: CacheConfig,
+    /// Per set: (tag, last-use stamp); `u64::MAX` tag = invalid.
+    sets: Vec<Vec<(u64, u64)>>,
+    clock: u64,
+    stats: CacheStats,
+}
+
+impl CacheSim {
+    /// Creates an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is degenerate (zero sets or ways).
+    pub fn new(config: CacheConfig) -> CacheSim {
+        assert!(config.ways > 0 && config.sets() > 0, "degenerate cache");
+        CacheSim {
+            sets: vec![vec![(u64::MAX, 0); config.ways]; config.sets()],
+            config,
+            clock: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Accesses one byte address; returns `true` on hit.
+    pub fn access(&mut self, addr: u64) -> bool {
+        self.clock += 1;
+        self.stats.accesses += 1;
+        let line = addr / self.config.line_bytes as u64;
+        let set = (line % self.sets.len() as u64) as usize;
+        let tag = line / self.sets.len() as u64;
+        let ways = &mut self.sets[set];
+        if let Some(w) = ways.iter_mut().find(|(t, _)| *t == tag) {
+            w.1 = self.clock;
+            self.stats.hits += 1;
+            return true;
+        }
+        self.stats.misses += 1;
+        let victim = ways
+            .iter_mut()
+            .min_by_key(|(_, stamp)| *stamp)
+            .expect("ways > 0");
+        *victim = (tag, self.clock);
+        false
+    }
+
+    /// Streams a contiguous region `[base, base+len)` line by line.
+    pub fn access_range(&mut self, base: u64, len: u64) {
+        let lb = self.config.line_bytes as u64;
+        let mut line = base / lb;
+        let end = (base + len).div_ceil(lb);
+        while line < end {
+            self.access(line * lb);
+            line += 1;
+        }
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Clears statistics but keeps cache contents (warm measurement).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+}
+
+/// Measures the steady-state hit rate of repeatedly streaming a working
+/// set of `working_set_bytes` through a cache of `config` — the
+/// residency benefit compression buys. Streams the set `passes + 1`
+/// times, measuring only the warm passes.
+pub fn steady_state_hit_rate(config: CacheConfig, working_set_bytes: u64, passes: u32) -> f64 {
+    let mut sim = CacheSim::new(config);
+    sim.access_range(0, working_set_bytes);
+    sim.reset_stats();
+    for _ in 0..passes.max(1) {
+        sim.access_range(0, working_set_bytes);
+    }
+    sim.stats().hit_rate()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn tiny() -> CacheConfig {
+        CacheConfig {
+            capacity: 8 * 1024,
+            line_bytes: 128,
+            ways: 4,
+        }
+    }
+
+    #[test]
+    fn geometry() {
+        let c = CacheConfig::a100_l2();
+        assert_eq!(c.sets(), 40 * 1024 * 1024 / (128 * 16));
+    }
+
+    #[test]
+    fn fitting_working_set_hits_after_warmup() {
+        // Working set = half capacity: everything must hit when re-streamed.
+        let rate = steady_state_hit_rate(tiny(), 4 * 1024, 3);
+        assert_eq!(rate, 1.0);
+    }
+
+    #[test]
+    fn oversized_streaming_set_always_misses() {
+        // 4x capacity streamed cyclically under LRU: pure thrash.
+        let rate = steady_state_hit_rate(tiny(), 32 * 1024, 3);
+        assert_eq!(rate, 0.0);
+    }
+
+    #[test]
+    fn compression_grows_effective_capacity() {
+        // A working set 2x the cache misses; compressed 4x it fits.
+        let raw = steady_state_hit_rate(tiny(), 16 * 1024, 3);
+        let compressed = steady_state_hit_rate(tiny(), 16 * 1024 / 4, 3);
+        assert_eq!(raw, 0.0);
+        assert_eq!(compressed, 1.0);
+    }
+
+    #[test]
+    fn lru_keeps_hot_line() {
+        let mut sim = CacheSim::new(tiny());
+        // Touch line 0 repeatedly while streaming others through its set.
+        let set_stride = (tiny().sets() * tiny().line_bytes) as u64;
+        for i in 0..8u64 {
+            sim.access(0);
+            sim.access(i * set_stride); // same set as line 0
+        }
+        sim.reset_stats();
+        assert!(sim.access(0), "hot line must survive under LRU");
+    }
+
+    proptest! {
+        #[test]
+        fn stats_are_consistent(addrs in prop::collection::vec(0u64..1_000_000, 1..500)) {
+            let mut sim = CacheSim::new(tiny());
+            for a in addrs {
+                sim.access(a);
+            }
+            let s = sim.stats();
+            prop_assert_eq!(s.hits + s.misses, s.accesses);
+        }
+
+        #[test]
+        fn repeat_access_hits(addr in 0u64..1_000_000) {
+            let mut sim = CacheSim::new(tiny());
+            sim.access(addr);
+            prop_assert!(sim.access(addr));
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Energy accounting (the paper's "up to 12.8× energy savings" claim in
+//! the Memory Analysis).
+//!
+//! Energy per decode step is modeled from published per-operation
+//! energies: HBM2e access energy, on-chip SRAM/L2 transfer energy,
+//! tensor-core MAC energy, plus the decompressor bank's power draw from
+//! the Table 3 model. The GPU-count reduction (compressed models need
+//! fewer GPUs, each idle watt counted once) is what compounds the saving
+//! to double digits.
+
+use crate::engine::SimEngine;
+use crate::kernel::Kernel;
+use crate::scheme::ExecScheme;
+
+/// Energy coefficients (7 nm-class, published ballpark figures).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EnergyModel {
+    /// HBM access energy per byte (≈ 3.9 pJ/bit on HBM2e).
+    pub hbm_pj_per_byte: f64,
+    /// L2/on-chip transfer energy per byte.
+    pub l2_pj_per_byte: f64,
+    /// Tensor-core FP16 MAC energy per FLOP.
+    pub tensor_pj_per_flop: f64,
+    /// Decompressor bank power in watts (from the Table 3 model).
+    pub decompressor_w: f64,
+    /// Per-GPU idle/static power in watts.
+    pub idle_w: f64,
+}
+
+impl EnergyModel {
+    /// A100-class coefficients.
+    pub fn a100() -> EnergyModel {
+        EnergyModel {
+            hbm_pj_per_byte: 31.2, // 3.9 pJ/bit
+            l2_pj_per_byte: 4.0,
+            tensor_pj_per_flop: 0.4,
+            decompressor_w: 7.36,
+            idle_w: 82.0,
+        }
+    }
+
+    /// Dynamic energy of one kernel under a scheme, in joules.
+    pub fn kernel_energy(&self, engine: &SimEngine, kernel: &Kernel, scheme: &ExecScheme) -> f64 {
+        let t = kernel.traffic(scheme);
+        let kt = engine.kernel_time(kernel, scheme);
+        let hbm = t.hbm_bytes * self.hbm_pj_per_byte * 1e-12;
+        let l2 = (t.hbm_bytes + t.decompressed_bytes) * self.l2_pj_per_byte * 1e-12;
+        let compute = (t.tensor_flops + t.cuda_flops) * self.tensor_pj_per_flop * 1e-12;
+        let decomp = if t.decompressed_bytes > 0.0 {
+            self.decompressor_w * kt.total
+        } else {
+            0.0
+        };
+        hbm + l2 + compute + decomp + self.idle_w * kt.total
+    }
+
+    /// Dynamic + static energy of a whole decode step, in joules.
+    pub fn step_energy(
+        &self,
+        engine: &SimEngine,
+        kernels: &[Kernel],
+        scheme: &ExecScheme,
+    ) -> f64 {
+        kernels
+            .iter()
+            .map(|k| self.kernel_energy(engine, k, scheme))
+            .sum()
+    }
+}
+
+impl Default for EnergyModel {
+    fn default() -> EnergyModel {
+        EnergyModel::a100()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gpu::GpuSpec;
+
+    #[test]
+    fn compression_saves_energy() {
+        let engine = SimEngine::new(GpuSpec::a100());
+        let em = EnergyModel::a100();
+        let k = Kernel::gemm(16, 13824, 5120);
+        let e_fp16 = em.kernel_energy(&engine, &k, &ExecScheme::fp16_trt());
+        let e_ecco = em.kernel_energy(&engine, &k, &ExecScheme::ecco());
+        let saving = e_fp16 / e_ecco;
+        // Per-kernel: traffic drops ~4x and runtime ~3-4x (idle energy),
+        // so the single-GPU saving lands between 2x and 4.5x; the paper's
+        // 12.8x additionally multiplies in the 4x GPU-count reduction.
+        assert!(saving > 2.0 && saving < 5.0, "saving {saving}");
+    }
+
+    #[test]
+    fn decompressor_energy_is_minor() {
+        let engine = SimEngine::new(GpuSpec::a100());
+        let em = EnergyModel::a100();
+        let k = Kernel::gemm(16, 13824, 5120);
+        let kt = engine.kernel_time(&k, &ExecScheme::ecco());
+        let decomp_j = em.decompressor_w * kt.total;
+        let total = em.kernel_energy(&engine, &k, &ExecScheme::ecco());
+        assert!(decomp_j / total < 0.12, "decompressor share {}", decomp_j / total);
+    }
+
+    #[test]
+    fn energy_scales_with_traffic() {
+        let engine = SimEngine::new(GpuSpec::a100());
+        let em = EnergyModel::a100();
+        let small = em.kernel_energy(&engine, &Kernel::gemm(1, 4096, 4096), &ExecScheme::fp16_trt());
+        let big = em.kernel_energy(&engine, &Kernel::gemm(1, 8192, 4096), &ExecScheme::fp16_trt());
+        assert!(big > small * 1.8, "{big} vs {small}");
+    }
+}

@@ -1,0 +1,259 @@
+//! The timing engine: kernel and decode-step latency, request counts.
+
+use crate::gpu::GpuSpec;
+use crate::kernel::Kernel;
+use crate::scheme::{ComputePrecision, ExecScheme};
+
+/// Latency breakdown of one kernel.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct KernelTime {
+    /// End-to-end kernel time in seconds.
+    pub total: f64,
+    /// Tensor-core time at the scheme's efficiency.
+    pub t_tensor: f64,
+    /// CUDA-core time (dequant / rotations / softmax).
+    pub t_cuda: f64,
+    /// HBM streaming time at the access pattern's efficiency.
+    pub t_hbm: f64,
+    /// Decompressor-bank throughput time (0 without a decompressor).
+    pub t_decomp: f64,
+    /// Launch/scheduling overhead.
+    pub t_launch: f64,
+    /// Exposed decompressor pipeline latency.
+    pub t_exposed: f64,
+}
+
+/// Latency breakdown of one full decode step.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct StepTime {
+    /// Total step latency in seconds.
+    pub total: f64,
+    /// Time in projection (GEMM + elementwise) kernels.
+    pub projection: f64,
+    /// Time in attention kernels — the split plotted in Figure 11a.
+    pub attention: f64,
+    /// Total launch overhead.
+    pub launch: f64,
+    /// Number of kernels executed.
+    pub kernels: usize,
+}
+
+/// The simulator: a [`GpuSpec`] plus the timing rules described in the
+/// crate docs.
+#[derive(Clone, Debug)]
+pub struct SimEngine {
+    gpu: GpuSpec,
+}
+
+impl SimEngine {
+    /// Creates an engine for the given GPU.
+    pub fn new(gpu: GpuSpec) -> SimEngine {
+        SimEngine { gpu }
+    }
+
+    /// The machine being simulated.
+    pub fn gpu(&self) -> &GpuSpec {
+        &self.gpu
+    }
+
+    /// Times one kernel under one scheme.
+    ///
+    /// The compute, HBM and decompressor streams overlap (take the max);
+    /// launch overhead and exposed pipeline latency serialize (add).
+    pub fn kernel_time(&self, kernel: &Kernel, scheme: &ExecScheme) -> KernelTime {
+        let t = kernel.traffic(scheme);
+        let peak = match scheme.compute {
+            ComputePrecision::Fp16 => self.gpu.fp16_tensor_flops,
+            ComputePrecision::Int8 => self.gpu.int8_tensor_ops,
+        };
+        let t_tensor = t.tensor_flops / (peak * scheme.compute_efficiency);
+        let t_cuda = t.cuda_flops / self.gpu.fp32_cuda_flops;
+        let hbm_eff = if t.attention {
+            self.gpu.attention_hbm_efficiency
+        } else {
+            self.gpu.gemm_hbm_efficiency
+        };
+        let t_hbm = t.hbm_bytes / (self.gpu.hbm_bw * hbm_eff);
+        let (t_decomp, t_exposed) = match &scheme.decompressor {
+            Some(d) if t.decompressed_bytes > 0.0 => (
+                d.throughput_time(t.decompressed_bytes, self.gpu.l2_bw()),
+                d.exposed_latency(self.gpu.cycle_s()),
+            ),
+            _ => (0.0, 0.0),
+        };
+        let core = t_tensor.max(t_cuda).max(t_hbm).max(t_decomp);
+        let t_launch = self.gpu.kernel_launch_s;
+        KernelTime {
+            total: core + t_launch + t_exposed,
+            t_tensor,
+            t_cuda,
+            t_hbm,
+            t_decomp,
+            t_launch,
+            t_exposed,
+        }
+    }
+
+    /// Times a sequence of kernels (one decode step).
+    pub fn step_time(&self, kernels: &[Kernel], scheme: &ExecScheme) -> StepTime {
+        let mut out = StepTime {
+            kernels: kernels.len(),
+            ..StepTime::default()
+        };
+        for k in kernels {
+            let kt = self.kernel_time(k, scheme);
+            out.total += kt.total;
+            out.launch += kt.t_launch;
+            if k.is_attention() {
+                out.attention += kt.total;
+            } else {
+                out.projection += kt.total;
+            }
+        }
+        out
+    }
+
+    /// Sector-level memory requests issued by one kernel (Figure 13's
+    /// metric: the decoding process is memory-bound, so requests proxy
+    /// performance).
+    pub fn memory_requests(&self, kernel: &Kernel, scheme: &ExecScheme) -> u64 {
+        let t = kernel.traffic(scheme);
+        (t.hbm_bytes / self.gpu.sector_bytes as f64).ceil() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decomp::DecompressorModel;
+    use proptest::prelude::*;
+
+    fn engine() -> SimEngine {
+        SimEngine::new(GpuSpec::a100())
+    }
+
+    /// The paper's Figure 13 kernel.
+    fn fig13_gemm() -> Kernel {
+        Kernel::gemm(16, 13824, 5120)
+    }
+
+    #[test]
+    fn decode_gemm_is_memory_bound_at_fp16() {
+        let kt = engine().kernel_time(&fig13_gemm(), &ExecScheme::fp16_trt());
+        assert!(
+            kt.t_hbm > kt.t_tensor,
+            "decode GEMM must be bandwidth-bound: mem {} vs compute {}",
+            kt.t_hbm,
+            kt.t_tensor
+        );
+    }
+
+    #[test]
+    fn ecco_faster_than_fp16_on_weight_bound_gemm() {
+        let e = engine();
+        let fp16 = e.kernel_time(&fig13_gemm(), &ExecScheme::fp16_trt());
+        let ecco = e.kernel_time(&fig13_gemm(), &ExecScheme::ecco());
+        let speedup = fp16.total / ecco.total;
+        assert!(speedup > 2.0 && speedup < 4.5, "speedup {speedup}");
+    }
+
+    #[test]
+    fn awq_degrades_with_batch() {
+        // AWQ wins at batch 1 but loses to FP16 at batch 64 — the
+        // crossover behaviour of Figure 11a.
+        let e = engine();
+        let small = Kernel::gemm(1, 13824, 5120);
+        let large = Kernel::gemm(64, 13824, 5120);
+        let awq_small = e.kernel_time(&small, &ExecScheme::awq()).total;
+        let fp16_small = e.kernel_time(&small, &ExecScheme::fp16_trt()).total;
+        assert!(awq_small < fp16_small, "AWQ must win at batch 1");
+        let awq_large = e.kernel_time(&large, &ExecScheme::awq()).total;
+        let fp16_large = e.kernel_time(&large, &ExecScheme::fp16_trt()).total;
+        assert!(
+            awq_large > fp16_large,
+            "AWQ must lose at batch 64: {awq_large} vs {fp16_large}"
+        );
+    }
+
+    #[test]
+    fn decompressor_throughput_sweep_monotone() {
+        let e = engine();
+        let k = fig13_gemm();
+        let mut last = 0.0;
+        for frac in [1.0, 0.8, 0.6, 0.4, 0.2, 0.1] {
+            let s = ExecScheme::ecco_with(
+                DecompressorModel::shipped().with_throughput_frac(frac),
+            );
+            let t = e.kernel_time(&k, &s).total;
+            assert!(t >= last, "time must grow as throughput shrinks");
+            last = t;
+        }
+    }
+
+    #[test]
+    fn decompressor_latency_adds_linearly() {
+        let e = engine();
+        let k = fig13_gemm();
+        let t0 = e
+            .kernel_time(&k, &ExecScheme::ecco_with(DecompressorModel::shipped().with_latency_cycles(0)))
+            .total;
+        let t300 = e
+            .kernel_time(&k, &ExecScheme::ecco_with(DecompressorModel::shipped().with_latency_cycles(300)))
+            .total;
+        let added = t300 - t0;
+        let expect = 300.0 * 34.0 * e.gpu().cycle_s();
+        assert!((added - expect).abs() / expect < 1e-6, "added {added} expect {expect}");
+    }
+
+    #[test]
+    fn memory_requests_ratio_matches_traffic() {
+        let e = engine();
+        let k = fig13_gemm();
+        let fp16 = e.memory_requests(&k, &ExecScheme::fp16_trt());
+        let ecco = e.memory_requests(&k, &ExecScheme::ecco());
+        let ratio = fp16 as f64 / ecco as f64;
+        assert!(ratio > 3.0 && ratio < 4.2, "request ratio {ratio}");
+    }
+
+    #[test]
+    fn step_time_splits_projection_and_attention() {
+        let e = engine();
+        let kernels = vec![
+            Kernel::gemm(8, 5120, 5120),
+            Kernel::AttentionDecode {
+                batch: 8,
+                heads: 40,
+                kv_heads: 40,
+                head_dim: 128,
+                seq: 2048,
+            },
+            Kernel::elementwise(8 * 5120),
+        ];
+        let st = e.step_time(&kernels, &ExecScheme::fp16_trt());
+        assert_eq!(st.kernels, 3);
+        assert!(st.attention > 0.0 && st.projection > 0.0);
+        assert!((st.total - (st.attention + st.projection)).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn more_traffic_never_faster(m in 1usize..64, n in 256usize..4096, k in 256usize..4096) {
+            let e = engine();
+            let s = ExecScheme::fp16_trt();
+            let small = e.kernel_time(&Kernel::gemm(m, n, k), &s).total;
+            let big = e.kernel_time(&Kernel::gemm(m, n * 2, k), &s).total;
+            prop_assert!(big >= small);
+        }
+
+        #[test]
+        fn fewer_bits_never_slower_same_kernel(m in 1usize..32, n in 256usize..4096) {
+            let e = engine();
+            // Compare FP16 vs Olive (same efficiency class, fewer bits,
+            // no extra overheads) on a weight-bound GEMM.
+            let k = Kernel::gemm(m, n, 4096);
+            let t16 = e.kernel_time(&k, &ExecScheme::fp16_trt()).total;
+            let t8 = e.kernel_time(&k, &ExecScheme::olive()).total;
+            prop_assert!(t8 <= t16 * 1.05, "{} vs {}", t8, t16);
+        }
+    }
+}

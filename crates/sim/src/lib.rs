@@ -1,0 +1,49 @@
+//! A GPU memory-system timing simulator for cache-compression schemes.
+//!
+//! The paper evaluates Ecco on Accel-Sim/GPGPU-Sim with NVBit traces from
+//! an A100. That stack is substituted (S4 in `DESIGN.md`) by a from-scratch
+//! kernel-grain simulator that models exactly the quantities the paper's
+//! speedups derive from:
+//!
+//! * **HBM traffic** per kernel under each scheme's weight/activation/KV
+//!   bit widths (decode is bandwidth-bound, so this dominates),
+//! * **tensor-core / CUDA-core rooflines** per compute precision, with an
+//!   efficiency knob that captures fused-dequantization kernels (AWQ) and
+//!   rotation epilogues (QuaRot),
+//! * **kernel-launch overhead**, which sets the small-batch/short-sequence
+//!   behaviour of Figures 11a/11b and the eager-framework gap of Figure 3,
+//! * the **L2-side decompressor** as a pipeline stage with finite
+//!   throughput (a fraction of L2 bandwidth) and added latency — the two
+//!   axes of Figure 14,
+//! * **sector-level request counts** for Figure 13.
+//!
+//! # Examples
+//!
+//! ```
+//! use ecco_sim::{ExecScheme, GpuSpec, Kernel, SimEngine};
+//!
+//! let engine = SimEngine::new(GpuSpec::a100());
+//! let gemm = Kernel::gemm(16, 13824, 5120);
+//! let fp16 = engine.kernel_time(&gemm, &ExecScheme::fp16_trt());
+//! let ecco = engine.kernel_time(&gemm, &ExecScheme::ecco());
+//! assert!(ecco.total < fp16.total, "compressed weights load faster");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod decomp;
+pub mod energy;
+pub mod engine;
+pub mod gpu;
+pub mod kernel;
+pub mod scheme;
+
+pub use cache::{CacheConfig, CacheSim, CacheStats};
+pub use decomp::DecompressorModel;
+pub use energy::EnergyModel;
+pub use engine::{KernelTime, SimEngine, StepTime};
+pub use gpu::GpuSpec;
+pub use kernel::{Kernel, KernelTraffic};
+pub use scheme::{ComputePrecision, ExecScheme};

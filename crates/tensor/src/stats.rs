@@ -1,0 +1,129 @@
+//! Reconstruction-error statistics used by the accuracy harness.
+
+use crate::Tensor;
+
+/// Mean squared error between two equally-shaped tensors.
+///
+/// # Panics
+///
+/// Panics if the shapes differ.
+pub fn mse(a: &Tensor, b: &Tensor) -> f64 {
+    assert_eq!(a.rows(), b.rows(), "shape mismatch");
+    assert_eq!(a.cols(), b.cols(), "shape mismatch");
+    let n = a.len() as f64;
+    a.data()
+        .iter()
+        .zip(b.data())
+        .map(|(&x, &y)| ((x - y) as f64).powi(2))
+        .sum::<f64>()
+        / n
+}
+
+/// Normalized MSE: `Σ(a-b)² / Σa²`.
+///
+/// This is the per-layer error metric fed into the proxy-perplexity model
+/// (substitution S2 in `DESIGN.md`); it is scale-invariant so layers of
+/// different magnitude contribute comparably.
+///
+/// Returns 0 when `a` is identically zero and the reconstruction matches.
+///
+/// # Panics
+///
+/// Panics if the shapes differ.
+pub fn nmse(a: &Tensor, b: &Tensor) -> f64 {
+    assert_eq!(a.rows(), b.rows(), "shape mismatch");
+    assert_eq!(a.cols(), b.cols(), "shape mismatch");
+    let num: f64 = a
+        .data()
+        .iter()
+        .zip(b.data())
+        .map(|(&x, &y)| ((x - y) as f64).powi(2))
+        .sum();
+    let den: f64 = a.data().iter().map(|&x| (x as f64).powi(2)).sum();
+    if den == 0.0 {
+        if num == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        num / den
+    }
+}
+
+/// Signal-to-quantization-noise ratio in dB: `10·log10(Σa² / Σ(a-b)²)`.
+///
+/// Infinite for perfect reconstruction.
+pub fn sqnr_db(a: &Tensor, b: &Tensor) -> f64 {
+    let e = nmse(a, b);
+    if e == 0.0 {
+        f64::INFINITY
+    } else {
+        -10.0 * e.log10()
+    }
+}
+
+/// Excess kurtosis of the tensor values (0 for a Gaussian) — the tail
+/// heaviness control the synthetic generator is calibrated against.
+pub fn excess_kurtosis(t: &Tensor) -> f64 {
+    let n = t.len() as f64;
+    let mean: f64 = t.data().iter().map(|&x| x as f64).sum::<f64>() / n;
+    let m2: f64 = t
+        .data()
+        .iter()
+        .map(|&x| (x as f64 - mean).powi(2))
+        .sum::<f64>()
+        / n;
+    if m2 == 0.0 {
+        return 0.0;
+    }
+    let m4: f64 = t
+        .data()
+        .iter()
+        .map(|&x| (x as f64 - mean).powi(4))
+        .sum::<f64>()
+        / n;
+    m4 / (m2 * m2) - 3.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: Vec<f32>) -> Tensor {
+        let n = v.len();
+        Tensor::from_vec(1, n, v)
+    }
+
+    #[test]
+    fn mse_of_identical_is_zero() {
+        let a = t(vec![1.0, 2.0, 3.0]);
+        assert_eq!(mse(&a, &a), 0.0);
+        assert_eq!(nmse(&a, &a), 0.0);
+        assert_eq!(sqnr_db(&a, &a), f64::INFINITY);
+    }
+
+    #[test]
+    fn known_mse() {
+        let a = t(vec![1.0, 2.0]);
+        let b = t(vec![2.0, 4.0]);
+        assert!((mse(&a, &b) - 2.5).abs() < 1e-12);
+        assert!((nmse(&a, &b) - 1.0).abs() < 1e-12);
+        assert!((sqnr_db(&a, &b) - 0.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_signal_edge_cases() {
+        let z = t(vec![0.0, 0.0]);
+        let b = t(vec![1.0, 0.0]);
+        assert_eq!(nmse(&z, &z), 0.0);
+        assert_eq!(nmse(&z, &b), f64::INFINITY);
+    }
+
+    #[test]
+    fn kurtosis_of_two_point_distribution() {
+        // Symmetric ±1 distribution has excess kurtosis -2.
+        let a = t(vec![1.0, -1.0, 1.0, -1.0, 1.0, -1.0, 1.0, -1.0]);
+        assert!((excess_kurtosis(&a) + 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,54 @@
+//! Quickstart: compress a weight tensor 4× and inspect the result.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use ecco::prelude::*;
+use ecco::tensor::stats::{nmse, sqnr_db};
+
+fn main() {
+    // A synthetic LLM weight tensor (substitution S1 in DESIGN.md): the
+    // generator reproduces the per-channel scale spread, structured means
+    // and heavy tails that drive every decision the codec makes.
+    let weights = SynthSpec::for_kind(TensorKind::Weight, 256, 1024)
+        .seeded(42)
+        .generate();
+    println!(
+        "tensor: {}x{} FP16 values ({} KiB)",
+        weights.rows(),
+        weights.cols(),
+        weights.len() * 2 / 1024
+    );
+
+    // Offline calibration: shared k-means patterns (S=64), Huffman
+    // codebooks (H=4 per pattern), the pattern-id code and tensor scale.
+    let codec = WeightCodec::calibrate(&[&weights], &EccoConfig::default());
+    println!(
+        "calibrated: S={} patterns, H={} codebooks/pattern, {} B shared metadata",
+        codec.metadata().num_patterns(),
+        codec.metadata().books_per_pattern(),
+        codec.metadata().metadata_bytes()
+    );
+
+    // Compress into fixed 64-byte blocks.
+    let (compressed, stats) = codec.compress(&weights);
+    println!(
+        "compressed: {} blocks x 64 B = {} KiB ({}x vs FP16)",
+        compressed.blocks().len(),
+        compressed.compressed_bytes() / 1024,
+        compressed.ratio_vs_fp16()
+    );
+    println!(
+        "block stats: clip {:.3}%, pad {:.2}%, {:.2} Huffman bits/value",
+        stats.clip_ratio() * 100.0,
+        stats.pad_ratio() * 100.0,
+        stats.avg_data_bits_per_value()
+    );
+
+    // Decompress and measure reconstruction quality.
+    let restored = codec.decompress(&compressed);
+    println!(
+        "round trip: NMSE {:.6}, SQNR {:.1} dB",
+        nmse(&weights, &restored),
+        sqnr_db(&weights, &restored)
+    );
+}

@@ -1,0 +1,153 @@
+//! Smoke tests for every experiment driver: fast, reduced-scale versions
+//! of the table/figure generators, asserting the paper's headline claims.
+
+use ecco::accuracy::perplexity::{fp16_wikitext_ppl, llama2_7b_spec, PerplexityModel};
+use ecco::accuracy::zeroshot::zero_shot_table;
+use ecco::accuracy::{LayerStack, Method};
+use ecco::hw::{AreaPowerModel, PipelineSpec};
+use ecco::prelude::*;
+
+#[test]
+fn table1_headline_claims_hold() {
+    let pm = PerplexityModel::calibrate();
+    let spec = llama2_7b_spec();
+    let stack = LayerStack::build(&spec);
+    let fp16 = fp16_wikitext_ppl(&spec);
+
+    let ppl = |m: Method| pm.predict(&spec, &m.evaluate(&stack));
+
+    // W4A16: Ecco competitive with AWQ, both ahead of GPTQ-R and Olive.
+    let (ecco, awq, gptq, olive) = (
+        ppl(Method::EccoW4),
+        ppl(Method::AwqW4),
+        ppl(Method::GptqR),
+        ppl(Method::OliveW4),
+    );
+    assert!(ecco <= awq + 0.02, "Ecco {ecco} vs AWQ {awq}");
+    assert!(awq < gptq && gptq < olive, "{awq} < {gptq} < {olive}");
+    assert!(ecco - fp16 < 0.25, "Ecco delta {}", ecco - fp16);
+
+    // W4A8KV4: Ecco best, RTN worst.
+    let rows = [
+        ppl(Method::RtnW4A8Kv4),
+        ppl(Method::AwqW4A8Kv4),
+        ppl(Method::QuarotW4A8Kv4),
+        ppl(Method::QoqW4A8Kv4),
+        ppl(Method::EccoW4A8Kv4),
+    ];
+    let ecco4 = rows[4];
+    assert!(rows[..4].iter().all(|&p| p >= ecco4 - 5e-3), "Ecco must lead: {rows:?}");
+    assert!(rows[0] == rows.iter().cloned().fold(0.0, f64::max), "RTN worst");
+}
+
+#[test]
+fn table2_ecco_beats_qoq_and_atom_collapses() {
+    let rows = zero_shot_table();
+    let avg = |name: &str| {
+        rows.iter()
+            .find(|r| r.method.starts_with(name))
+            .unwrap_or_else(|| panic!("row {name}"))
+            .acc[5]
+    };
+    assert!(avg("Ecco") > avg("QoQ"));
+    assert!(avg("Atom") < avg("QoQ") - 5.0, "Atom W4A4 must collapse");
+    assert!(avg("Origin") >= avg("Ecco"));
+}
+
+#[test]
+fn table3_envelope() {
+    let m = AreaPowerModel::a100();
+    assert!(m.die_fraction() < 0.01, "<1% of the A100 die");
+    assert!(m.idle_power_fraction() < 0.10, "<10% of idle power");
+    assert_eq!(PipelineSpec::shipped().decompress_cycles(), 28);
+}
+
+#[test]
+fn figure11_speedup_directions() {
+    let engine = SimEngine::new(GpuSpec::a100());
+    // Batch sweep: Ecco wins everywhere; AWQ crosses below FP16 at 64.
+    for bs in [1usize, 64] {
+        let wl = DecodeWorkload::new(ModelSpec::llama_13b(), bs, 2048);
+        let fp16 = wl.step_time(&engine, &ExecScheme::fp16_trt()).total;
+        let ecco = wl.step_time(&engine, &ExecScheme::ecco()).total;
+        let awq = wl.step_time(&engine, &ExecScheme::awq()).total;
+        assert!(ecco < fp16 && ecco < awq, "Ecco fastest at bs {bs}");
+        if bs == 1 {
+            assert!(awq < fp16, "AWQ wins at batch 1");
+        } else {
+            assert!(awq > fp16, "AWQ loses at batch 64");
+        }
+    }
+}
+
+#[test]
+fn figure12_figure13_ratios() {
+    let model = ModelSpec::llama_7b();
+    let fp16 = ecco::llm::memory::footprint(&model, &ExecScheme::fp16_trt(), 32, 2048);
+    let ours = ecco::llm::memory::footprint(&model, &ExecScheme::ecco(), 32, 2048);
+    let r = fp16.total() / ours.total();
+    assert!(r > 3.9 && r <= 4.0, "memory reduction {r} (paper 3.98x)");
+
+    let engine = SimEngine::new(GpuSpec::a100());
+    let gemm = ecco::sim::Kernel::gemm(16, 13824, 5120);
+    let req16 = engine.memory_requests(&gemm, &ExecScheme::fp16_trt()) as f64;
+    let reqe = engine.memory_requests(&gemm, &ExecScheme::ecco()) as f64;
+    assert!(req16 / reqe > 3.0, "request reduction {}", req16 / reqe);
+}
+
+#[test]
+fn figure14_sensitivity_shapes() {
+    let engine = SimEngine::new(GpuSpec::a100());
+    let wl = DecodeWorkload::new(ModelSpec::llama_13b(), 8, 2048);
+    let base = wl
+        .step_time(&engine, &ExecScheme::ecco_with(DecompressorModel::shipped()))
+        .total;
+    // 90% throughput: negligible; 10%: pronounced.
+    let t90 = wl
+        .step_time(
+            &engine,
+            &ExecScheme::ecco_with(DecompressorModel::shipped().with_throughput_frac(0.9)),
+        )
+        .total;
+    let t10 = wl
+        .step_time(
+            &engine,
+            &ExecScheme::ecco_with(DecompressorModel::shipped().with_throughput_frac(0.1)),
+        )
+        .total;
+    assert!(t90 / base < 1.1, "90% throughput costs {}x", t90 / base);
+    assert!(t10 / base > 3.0, "10% throughput costs {}x", t10 / base);
+
+    // Latency 300 cycles: ~1.3x, as in the paper.
+    let t300 = wl
+        .step_time(
+            &engine,
+            &ExecScheme::ecco_with(DecompressorModel::shipped().with_latency_cycles(300)),
+        )
+        .total;
+    assert!(t300 / base > 1.15 && t300 / base < 1.45, "latency slowdown {}", t300 / base);
+}
+
+#[test]
+fn figure10_padding_ordering() {
+    // K-cache pads most, V-cache second, weights least — the Figure 10
+    // fingerprint.
+    let cfg = EccoConfig::default();
+    let w = SynthSpec::for_kind(TensorKind::Weight, 64, 1024).seeded(9).generate();
+    let k = SynthSpec::for_kind(TensorKind::KCache, 64, 1024).seeded(9).generate();
+    let v = SynthSpec::for_kind(TensorKind::VCache, 64, 1024).seeded(9).generate();
+    let wp = {
+        let c = WeightCodec::calibrate(&[&w], &cfg);
+        c.compress(&w).1.pad_ratio()
+    };
+    let kp = {
+        let c = KvCodec::calibrate(&[&k], &cfg);
+        c.compress(&k).1.pad_ratio()
+    };
+    let vp = {
+        let c = KvCodec::calibrate(&[&v], &cfg);
+        c.compress(&v).1.pad_ratio()
+    };
+    assert!(kp > vp && vp > wp, "pad ordering k={kp} v={vp} w={wp}");
+    assert!(kp > 0.04, "k-cache pads heavily ({kp})");
+}

@@ -1,0 +1,122 @@
+//! Failure injection: corrupted, truncated and adversarial blocks must
+//! never panic, and header corruption must be reported.
+
+use ecco::bits::{BitWriter, Block64, BLOCK_BITS};
+use ecco::codec::block::DecodeError;
+use ecco::codec::{decode_group, encode_group};
+use ecco::hw::decode_block_parallel;
+use ecco::prelude::*;
+
+fn test_meta() -> (TensorMetadata, Tensor) {
+    let t = SynthSpec::for_kind(TensorKind::Weight, 16, 1024).seeded(2001).generate();
+    let cfg = EccoConfig {
+        num_patterns: 16,
+        max_calibration_groups: 256,
+        ..EccoConfig::default()
+    };
+    let meta = TensorMetadata::calibrate(&[&t], &cfg, PatternSelector::MseOptimal);
+    (meta, t)
+}
+
+#[test]
+fn single_bit_flips_never_panic() {
+    let (meta, t) = test_meta();
+    let g = t.groups(128).next().unwrap();
+    let (block, _) = encode_group(g, &meta, PatternSelector::MseOptimal);
+    for bit in 0..BLOCK_BITS {
+        let mut bytes = *block.as_bytes();
+        bytes[bit / 8] ^= 1 << (7 - bit % 8);
+        let corrupted = Block64::from_bytes(bytes);
+        match decode_group(&corrupted, &meta) {
+            Ok((vals, _)) => assert_eq!(vals.len(), 128),
+            Err(e) => assert!(matches!(
+                e,
+                DecodeError::BadPatternId | DecodeError::BadBookId | DecodeError::BadScaleFactor
+            )),
+        }
+        // The parallel model must agree with the sequential decoder even
+        // on corrupted data (same error or same values).
+        match (decode_group(&corrupted, &meta), decode_block_parallel(&corrupted, &meta)) {
+            (Ok((a, _)), Ok((b, _))) => assert_eq!(a, b, "bit {bit}"),
+            (Err(ea), Err(eb)) => assert_eq!(ea, eb, "bit {bit}"),
+            (a, b) => panic!("decoders disagree on bit {bit}: {a:?} vs {b:?}"),
+        }
+    }
+}
+
+#[test]
+fn all_zero_and_all_one_blocks() {
+    let (meta, _) = test_meta();
+    for fill in [0x00u8, 0xFF] {
+        let block = Block64::from_bytes([fill; 64]);
+        match decode_group(&block, &meta) {
+            Ok((vals, _)) => assert_eq!(vals.len(), 128),
+            Err(_) => {}
+        }
+    }
+}
+
+#[test]
+fn truncated_writer_blocks_are_zero_padded_safely() {
+    let (meta, _) = test_meta();
+    // A header-only block: valid header fields, no symbol data at all.
+    let mut w = BitWriter::new();
+    w.write_bits(0, meta.id_hf_bits); // book 0
+    w.write_bits(0x38, 8); // SF = 1.0 in FP8
+    meta.pattern_code.encode_symbol(&mut w, 0);
+    let block = Block64::from_writer(w).unwrap();
+    let (vals, info) = decode_group(&block, &meta).expect("header is valid");
+    assert_eq!(vals.len(), 128);
+    // Whatever the zero-fill decodes to, the total is always 128 values
+    // and the clip accounting covers the remainder.
+    assert_eq!(info.decoded_symbols + info.clipped_symbols, 128);
+}
+
+#[test]
+fn random_blocks_fuzz_both_decoders() {
+    let (meta, _) = test_meta();
+    let mut state = 0xDEADBEEFu64;
+    for _ in 0..500 {
+        let mut bytes = [0u8; 64];
+        for b in &mut bytes {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            *b = (state >> 56) as u8;
+        }
+        let block = Block64::from_bytes(bytes);
+        let seq = decode_group(&block, &meta);
+        let par = decode_block_parallel(&block, &meta);
+        match (seq, par) {
+            (Ok((a, _)), Ok((b, _))) => assert_eq!(a, b),
+            (Err(a), Err(b)) => assert_eq!(a, b),
+            (a, b) => panic!("decoders disagree: {a:?} vs {b:?}"),
+        }
+    }
+}
+
+#[test]
+fn activation_codec_handles_extremes() {
+    let codec = ActivationCodec::new();
+    // Saturated FP16 values, constant groups, alternating signs.
+    for pattern in [
+        vec![60000.0f32; 64],
+        vec![-60000.0f32; 64],
+        (0..64).map(|i| if i % 2 == 0 { 1e4 } else { -1e4 }).collect::<Vec<_>>(),
+        vec![0.0f32; 64],
+    ] {
+        let block = codec.compress_group(&pattern);
+        let out = codec.decompress_group(&block);
+        assert_eq!(out.len(), 64);
+        for (a, b) in pattern.iter().zip(&out) {
+            assert!(
+                (a - b).abs() <= (a.abs() * 0.02).max(1e-3) + (pattern_range(&pattern) / 127.0),
+                "{a} -> {b}"
+            );
+        }
+    }
+}
+
+fn pattern_range(p: &[f32]) -> f32 {
+    let lo = p.iter().cloned().fold(f32::INFINITY, f32::min);
+    let hi = p.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    hi - lo
+}
