@@ -28,7 +28,13 @@ pub struct LayerStack {
 
 /// Projection names in the order of the paper's Figure 10.
 pub const PROJ_NAMES: [&str; 7] = [
-    "q_proj", "k_proj", "v_proj", "o_proj", "gate_proj", "up_proj", "down_proj",
+    "q_proj",
+    "k_proj",
+    "v_proj",
+    "o_proj",
+    "gate_proj",
+    "up_proj",
+    "down_proj",
 ];
 
 impl LayerStack {
@@ -37,14 +43,15 @@ impl LayerStack {
         let cols = model.hidden.min(1024);
         let rows = 256usize;
 
-        let weights: Vec<(&'static str, Tensor)> = PROJ_NAMES
-            .iter()
-            .map(|&name| {
-                let spec = SynthSpec::for_kind(TensorKind::Weight, rows, cols)
-                    .seeded(seed_for(&model.name, 0, name));
-                (name, spec.generate())
-            })
-            .collect();
+        let weights: Vec<(&'static str, Tensor)> =
+            PROJ_NAMES
+                .iter()
+                .map(|&name| {
+                    let spec = SynthSpec::for_kind(TensorKind::Weight, rows, cols)
+                        .seeded(seed_for(&model.name, 0, name));
+                    (name, spec.generate())
+                })
+                .collect();
 
         let activations = SynthSpec::for_kind(TensorKind::Activation, rows, cols)
             .seeded(seed_for(&model.name, 0, "activations"))
@@ -82,12 +89,7 @@ impl LayerStack {
         let cols = original.cols();
         let mut num = 0f64;
         let mut den = 0f64;
-        for (i, (&a, &b)) in original
-            .data()
-            .iter()
-            .zip(reconstructed.data())
-            .enumerate()
-        {
+        for (i, (&a, &b)) in original.data().iter().zip(reconstructed.data()).enumerate() {
             let m = self.act_mags[i % cols] as f64;
             num += m * m * ((a - b) as f64).powi(2);
             den += m * m * (a as f64).powi(2);
@@ -109,7 +111,7 @@ mod tests {
         let s = LayerStack::build(&ModelSpec::llama_7b());
         assert_eq!(s.weights.len(), 7);
         assert_eq!(s.act_mags.len(), 1024);
-        assert!(s.k_cache.len() % 128 == 0);
+        assert!(s.k_cache.len().is_multiple_of(128));
     }
 
     #[test]

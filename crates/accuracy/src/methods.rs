@@ -71,7 +71,12 @@ impl Method {
 
     /// The W4A16 group of Table 1, in row order.
     pub fn w4a16_rows() -> Vec<Method> {
-        vec![Method::GptqR, Method::OliveW4, Method::AwqW4, Method::EccoW4]
+        vec![
+            Method::GptqR,
+            Method::OliveW4,
+            Method::AwqW4,
+            Method::EccoW4,
+        ]
     }
 
     /// The W4A8KV4 group of Table 1, in row order.
@@ -97,9 +102,7 @@ impl Method {
                 weights_only(stack, |w, _| codec.roundtrip(w).0)
             }
             Method::RtnW4A8Kv4 => MethodResult {
-                w_nmse: weight_nmse(stack, |w, _| {
-                    rtn_quantize(w, 4, Granularity::PerChannel)
-                }),
+                w_nmse: weight_nmse(stack, |w, _| rtn_quantize(w, 4, Granularity::PerChannel)),
                 act_nmse: nmse(
                     &stack.activations,
                     &rtn_quantize(&stack.activations, 8, Granularity::PerTensor),
@@ -132,9 +135,7 @@ impl Method {
                 }
             }
             Method::AtomW4A4 => MethodResult {
-                w_nmse: weight_nmse(stack, |w, _| {
-                    rtn_quantize(w, 4, Granularity::PerGroup(128))
-                }),
+                w_nmse: weight_nmse(stack, |w, _| rtn_quantize(w, 4, Granularity::PerGroup(128))),
                 act_nmse: nmse(
                     &stack.activations,
                     &rtn_quantize(&stack.activations, 4, Granularity::PerTensor),
@@ -154,10 +155,8 @@ impl Method {
             }
             Method::EccoW4A8Kv4 => {
                 let w_codec = ecco_weight_codec(stack);
-                let kv_codec = KvCodec::calibrate(
-                    &[&stack.k_cache, &stack.v_cache],
-                    &EccoConfig::default(),
-                );
+                let kv_codec =
+                    KvCodec::calibrate(&[&stack.k_cache, &stack.v_cache], &EccoConfig::default());
                 let act_codec = ActivationCodec::new();
                 let (act_blocks, _) = act_codec.compress(&stack.activations);
                 let act_out = act_codec.decompress(
@@ -182,10 +181,7 @@ fn ecco_weight_codec(stack: &LayerStack) -> WeightCodec {
     WeightCodec::calibrate_aware(&refs, &stack.act_mags, &EccoConfig::default())
 }
 
-fn weight_nmse(
-    stack: &LayerStack,
-    f: impl Fn(&Tensor, &[f32]) -> Tensor,
-) -> f64 {
+fn weight_nmse(stack: &LayerStack, f: impl Fn(&Tensor, &[f32]) -> Tensor) -> f64 {
     let mut total = 0f64;
     for (_, w) in &stack.weights {
         let q = f(w, &stack.act_mags);

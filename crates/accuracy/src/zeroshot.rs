@@ -39,8 +39,7 @@ impl ZeroShotModel {
         let qoq_acc = [79.43, 77.06, 48.81, 78.35, 70.48];
         let mut task_sensitivity = [0f64; 5];
         for i in 0..5 {
-            task_sensitivity[i] =
-                ((FP16_LLAMA2_13B_ACC[i] - qoq_acc[i]) / (100.0 * dlog)).max(0.0);
+            task_sensitivity[i] = ((FP16_LLAMA2_13B_ACC[i] - qoq_acc[i]) / (100.0 * dlog)).max(0.0);
         }
         ZeroShotModel {
             ppl_model,

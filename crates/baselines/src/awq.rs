@@ -36,8 +36,7 @@ impl Awq {
     /// Panics if `act_mags.len() != weights.cols()`.
     pub fn quantize(&self, weights: &Tensor, act_mags: &[f32]) -> Tensor {
         assert_eq!(act_mags.len(), weights.cols(), "one magnitude per column");
-        let mean_mag = (act_mags.iter().map(|&m| m as f64).sum::<f64>()
-            / act_mags.len() as f64)
+        let mean_mag = (act_mags.iter().map(|&m| m as f64).sum::<f64>() / act_mags.len() as f64)
             .max(1e-12) as f32;
 
         let mut best: Option<(f64, Tensor)> = None;
@@ -101,9 +100,13 @@ mod tests {
     use ecco_tensor::{stats::nmse, synth::SynthSpec, TensorKind};
 
     fn setup() -> (Tensor, Vec<f32>) {
-        let w = SynthSpec::for_kind(TensorKind::Weight, 32, 512).seeded(41).generate();
+        let w = SynthSpec::for_kind(TensorKind::Weight, 32, 512)
+            .seeded(41)
+            .generate();
         // Activation magnitudes with a few dominant channels.
-        let a = SynthSpec::for_kind(TensorKind::Activation, 64, 512).seeded(42).generate();
+        let a = SynthSpec::for_kind(TensorKind::Activation, 64, 512)
+            .seeded(42)
+            .generate();
         let mut mags = vec![0f32; 512];
         for r in 0..a.rows() {
             for (c, m) in mags.iter_mut().enumerate() {

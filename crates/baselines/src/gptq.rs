@@ -105,22 +105,31 @@ mod tests {
 
     #[test]
     fn gptq_beats_plain_rtn() {
-        let w = SynthSpec::for_kind(TensorKind::Weight, 32, 512).seeded(51).generate();
+        let w = SynthSpec::for_kind(TensorKind::Weight, 32, 512)
+            .seeded(51)
+            .generate();
         let e_gptq = nmse(&w, &Gptq::w4_g128().quantize(&w));
         let e_rtn = nmse(&w, &rtn_quantize(&w, 4, Granularity::PerChannel));
-        assert!(e_gptq < e_rtn, "GPTQ {e_gptq} must beat per-channel RTN {e_rtn}");
+        assert!(
+            e_gptq < e_rtn,
+            "GPTQ {e_gptq} must beat per-channel RTN {e_rtn}"
+        );
     }
 
     #[test]
     fn reconstruction_reasonable() {
-        let w = SynthSpec::for_kind(TensorKind::Weight, 32, 512).seeded(52).generate();
+        let w = SynthSpec::for_kind(TensorKind::Weight, 32, 512)
+            .seeded(52)
+            .generate();
         let e = nmse(&w, &Gptq::w4_g128().quantize(&w));
         assert!(e < 0.02, "GPTQ NMSE {e}");
     }
 
     #[test]
     fn shape_preserved() {
-        let w = SynthSpec::for_kind(TensorKind::Weight, 16, 256).seeded(53).generate();
+        let w = SynthSpec::for_kind(TensorKind::Weight, 16, 256)
+            .seeded(53)
+            .generate();
         let q = Gptq::w4_g128().quantize(&w);
         assert_eq!((q.rows(), q.cols()), (16, 256));
     }

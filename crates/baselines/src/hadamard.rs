@@ -104,7 +104,9 @@ mod tests {
     #[test]
     fn energy_is_preserved() {
         let rot = RandomHadamard::new(128, 7);
-        let orig: Vec<f32> = (0..128).map(|i| ((i * 31 % 97) as f32 - 48.0) / 10.0).collect();
+        let orig: Vec<f32> = (0..128)
+            .map(|i| ((i * 31 % 97) as f32 - 48.0) / 10.0)
+            .collect();
         let mut x = orig.clone();
         rot.forward(&mut x);
         let e0: f64 = orig.iter().map(|&v| (v as f64).powi(2)).sum();

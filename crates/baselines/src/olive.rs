@@ -7,7 +7,7 @@
 //! whose scale ignores the outliers. The victim pruning plus the coarse
 //! normal grid are exactly why OliVe trails AWQ in Table 1.
 
-use ecco_numerics::{F8E4M3, Po2Scale};
+use ecco_numerics::{Po2Scale, F8E4M3};
 use ecco_tensor::Tensor;
 
 /// The OliVe-style quantizer.
@@ -37,8 +37,7 @@ impl Olive {
             // Normal-range scale from the outlier quantile.
             let mut mags: Vec<f32> = row.iter().map(|x| x.abs()).collect();
             mags.sort_by(f32::total_cmp);
-            let q_idx =
-                ((mags.len() as f32 * self.outlier_quantile) as usize).min(mags.len() - 1);
+            let q_idx = ((mags.len() as f32 * self.outlier_quantile) as usize).min(mags.len() - 1);
             let normal_max = mags[q_idx].max(1e-12);
             let scale = normal_max / levels_half;
             let outlier_scale = Po2Scale::for_absmax(mags[mags.len() - 1], F8E4M3::MAX_FINITE);
@@ -82,7 +81,11 @@ mod tests {
         data[7] = 50.0;
         let t = Tensor::from_vec(1, 256, data);
         let q = Olive::new(4).quantize(&t);
-        assert!((q.get(0, 7) - 50.0).abs() / 50.0 < 0.07, "outlier {}", q.get(0, 7));
+        assert!(
+            (q.get(0, 7) - 50.0).abs() / 50.0 < 0.07,
+            "outlier {}",
+            q.get(0, 7)
+        );
     }
 
     #[test]
@@ -97,7 +100,9 @@ mod tests {
     #[test]
     fn olive_worse_than_awq_on_weights() {
         // Table 1 ordering: OliVe trails AWQ at W4.
-        let w = SynthSpec::for_kind(TensorKind::Weight, 32, 512).seeded(61).generate();
+        let w = SynthSpec::for_kind(TensorKind::Weight, 32, 512)
+            .seeded(61)
+            .generate();
         let mags = vec![1.0f32; 512];
         let e_olive = nmse(&w, &Olive::new(4).quantize(&w));
         let e_awq = nmse(&w, &Awq::w4_g128().quantize(&w, &mags));
@@ -109,7 +114,9 @@ mod tests {
 
     #[test]
     fn reconstruction_not_catastrophic() {
-        let w = SynthSpec::for_kind(TensorKind::Weight, 32, 512).seeded(62).generate();
+        let w = SynthSpec::for_kind(TensorKind::Weight, 32, 512)
+            .seeded(62)
+            .generate();
         let e = nmse(&w, &Olive::new(4).quantize(&w));
         assert!(e < 0.05, "OliVe NMSE {e}");
     }

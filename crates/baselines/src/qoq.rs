@@ -93,7 +93,9 @@ mod tests {
 
     #[test]
     fn weight_path_quality() {
-        let w = SynthSpec::for_kind(TensorKind::Weight, 32, 512).seeded(91).generate();
+        let w = SynthSpec::for_kind(TensorKind::Weight, 32, 512)
+            .seeded(91)
+            .generate();
         let e = nmse(&w, &Qoq::g128().quantize_weight(&w));
         assert!(e < 0.02, "QoQ W4 NMSE {e}");
     }
@@ -102,16 +104,23 @@ mod tests {
     fn progressive_close_to_direct_group_quant() {
         // The INT8 intermediate costs a little accuracy versus direct FP16
         // group quantization but must stay in the same regime.
-        let w = SynthSpec::for_kind(TensorKind::Weight, 32, 512).seeded(92).generate();
+        let w = SynthSpec::for_kind(TensorKind::Weight, 32, 512)
+            .seeded(92)
+            .generate();
         let e_qoq = nmse(&w, &Qoq::g128().quantize_weight(&w));
         let e_direct = nmse(&w, &rtn_quantize(&w, 4, Granularity::PerGroup(128)));
-        assert!(e_qoq >= e_direct * 0.9, "progressive shouldn't magically win");
+        assert!(
+            e_qoq >= e_direct * 0.9,
+            "progressive shouldn't magically win"
+        );
         assert!(e_qoq <= e_direct * 2.0, "QoQ {e_qoq} vs direct {e_direct}");
     }
 
     #[test]
     fn kv_smoothing_beats_direct_kv4() {
-        let kv = SynthSpec::for_kind(TensorKind::KCache, 64, 512).seeded(93).generate();
+        let kv = SynthSpec::for_kind(TensorKind::KCache, 64, 512)
+            .seeded(93)
+            .generate();
         let e_qoq = nmse(&kv, &Qoq::g128().quantize_kv(&kv));
         let e_direct = nmse(&kv, &rtn_quantize(&kv, 4, Granularity::PerGroup(128)));
         assert!(
@@ -122,7 +131,9 @@ mod tests {
 
     #[test]
     fn activation_path_is_8bit_quality() {
-        let a = SynthSpec::for_kind(TensorKind::Activation, 32, 512).seeded(94).generate();
+        let a = SynthSpec::for_kind(TensorKind::Activation, 32, 512)
+            .seeded(94)
+            .generate();
         let e = nmse(&a, &Qoq::g128().quantize_activation(&a));
         assert!(e < 1e-3, "A8 NMSE {e}");
     }

@@ -77,7 +77,9 @@ mod tests {
     fn rotation_helps_heavy_tailed_data() {
         // On outlier-dominated data (activations / KV), quantizing in the
         // rotated basis must beat quantizing directly.
-        let t = SynthSpec::for_kind(TensorKind::KCache, 64, 512).seeded(71).generate();
+        let t = SynthSpec::for_kind(TensorKind::KCache, 64, 512)
+            .seeded(71)
+            .generate();
         let e_rot = nmse(&t, &Quarot::w4_g128().quantize(&t));
         let e_raw = nmse(&t, &rtn_quantize(&t, 4, Granularity::PerGroup(128)));
         assert!(
@@ -88,14 +90,18 @@ mod tests {
 
     #[test]
     fn reconstruction_quality() {
-        let t = SynthSpec::for_kind(TensorKind::Weight, 32, 512).seeded(72).generate();
+        let t = SynthSpec::for_kind(TensorKind::Weight, 32, 512)
+            .seeded(72)
+            .generate();
         let e = nmse(&t, &Quarot::w4_g128().quantize(&t));
         assert!(e < 0.02, "QuaRot weight NMSE {e}");
     }
 
     #[test]
     fn shape_preserved() {
-        let t = SynthSpec::for_kind(TensorKind::Activation, 8, 256).seeded(73).generate();
+        let t = SynthSpec::for_kind(TensorKind::Activation, 8, 256)
+            .seeded(73)
+            .generate();
         let q = Quarot::w4_g128().quantize(&t);
         assert_eq!((q.rows(), q.cols()), (8, 256));
     }

@@ -43,9 +43,7 @@ impl SmoothQuant {
             a_max[c] = a_max[c].max(x.abs());
         }
         (0..cols)
-            .map(|c| {
-                (a_max[c].powf(self.alpha) / w_max[c].powf(1.0 - self.alpha)).clamp(1e-3, 1e3)
-            })
+            .map(|c| (a_max[c].powf(self.alpha) / w_max[c].powf(1.0 - self.alpha)).clamp(1e-3, 1e3))
             .collect()
     }
 
@@ -90,8 +88,12 @@ mod tests {
     use ecco_tensor::{stats::nmse, synth::SynthSpec, TensorKind};
 
     fn setup() -> (Tensor, Tensor) {
-        let w = SynthSpec::for_kind(TensorKind::Weight, 64, 512).seeded(81).generate();
-        let a = SynthSpec::for_kind(TensorKind::Activation, 64, 512).seeded(82).generate();
+        let w = SynthSpec::for_kind(TensorKind::Weight, 64, 512)
+            .seeded(81)
+            .generate();
+        let a = SynthSpec::for_kind(TensorKind::Activation, 64, 512)
+            .seeded(82)
+            .generate();
         (w, a)
     }
 
@@ -135,12 +137,18 @@ mod tests {
             let c = i % a.cols();
             a_max[c] = a_max[c].max(x.abs());
         }
-        let hot = (0..a.cols()).max_by(|&i, &j| a_max[i].total_cmp(&a_max[j])).unwrap();
+        let hot = (0..a.cols())
+            .max_by(|&i, &j| a_max[i].total_cmp(&a_max[j]))
+            .unwrap();
         let median = {
             let mut v = s.clone();
             v.sort_by(f32::total_cmp);
             v[v.len() / 2]
         };
-        assert!(s[hot] > median, "hot channel factor {} vs median {median}", s[hot]);
+        assert!(
+            s[hot] > median,
+            "hot channel factor {} vs median {median}",
+            s[hot]
+        );
     }
 }

@@ -51,7 +51,10 @@ pub fn rtn_quantize(tensor: &Tensor, bits: u32, granularity: Granularity) -> Ten
             }
         }
         Granularity::PerGroup(g) => {
-            assert!(g > 0 && tensor.cols().is_multiple_of(g), "group must divide row length");
+            assert!(
+                g > 0 && tensor.cols().is_multiple_of(g),
+                "group must divide row length"
+            );
             for group in out.data_mut().chunks_mut(g) {
                 quantize_span(group, levels);
             }
@@ -91,7 +94,9 @@ pub fn rtn_codes(tensor: &Tensor, bits: u32, granularity: Granularity) -> Vec<u1
             .collect(),
         Granularity::PerGroup(g) => {
             assert!(g > 0 && tensor.len().is_multiple_of(g));
-            (0..tensor.len() / g).map(|i| (i * g, (i + 1) * g)).collect()
+            (0..tensor.len() / g)
+                .map(|i| (i * g, (i + 1) * g))
+                .collect()
         }
     };
     for (a, b) in spans {
@@ -132,7 +137,9 @@ mod tests {
     use proptest::prelude::*;
 
     fn weight(seed: u64) -> Tensor {
-        SynthSpec::for_kind(TensorKind::Weight, 32, 512).seeded(seed).generate()
+        SynthSpec::for_kind(TensorKind::Weight, 32, 512)
+            .seeded(seed)
+            .generate()
     }
 
     #[test]

@@ -7,7 +7,10 @@ use ecco_tensor::{stats::nmse, synth::SynthSpec, TensorKind};
 
 fn main() {
     let mut rows = Vec::new();
-    for (name, kind) in [("k_cache", TensorKind::KCache), ("v_cache", TensorKind::VCache)] {
+    for (name, kind) in [
+        ("k_cache", TensorKind::KCache),
+        ("v_cache", TensorKind::VCache),
+    ] {
         let t = SynthSpec::for_kind(kind, 128, 1024).seeded(17).generate();
         let codec = KvCodec::calibrate(&[&t], &EccoConfig::default());
         let (mm, mm_stats) = codec.roundtrip(&t);

@@ -1,8 +1,8 @@
 //! Ablation A2: what the clipped+padded Huffman stage buys over (a) the
 //! same codec without outlier padding and (b) plain in-block 4-bit RTN.
 
-use ecco_bench::{f, print_table};
 use ecco_baselines::{rtn_quantize, Granularity};
+use ecco_bench::{f, print_table};
 use ecco_core::block::encode_group_unpadded;
 use ecco_core::{decode_group, EccoConfig, PatternSelector, TensorMetadata, WeightCodec};
 use ecco_tensor::{stats::nmse, synth::SynthSpec, Tensor, TensorKind};

@@ -4,14 +4,16 @@
 //! window always completes a code).
 
 use ecco_bench::{f, print_table};
+use ecco_core::{normalize_group, EccoConfig, PatternSelector, TensorMetadata};
 use ecco_entropy::stats::shannon_entropy;
 use ecco_entropy::Codebook;
-use ecco_core::{normalize_group, EccoConfig, PatternSelector, TensorMetadata};
 use ecco_tensor::{synth::SynthSpec, TensorKind};
 
 fn main() {
     // Collect real symbol statistics from the codec on K-cache data.
-    let t = SynthSpec::for_kind(TensorKind::KCache, 128, 1024).seeded(29).generate();
+    let t = SynthSpec::for_kind(TensorKind::KCache, 128, 1024)
+        .seeded(29)
+        .generate();
     let cfg = EccoConfig {
         num_patterns: 16,
         ..EccoConfig::default()
@@ -22,7 +24,11 @@ fn main() {
         let ng = normalize_group(g, meta.tensor_scale);
         let kp = meta.select_pattern(&ng, PatternSelector::MinMax);
         for (i, &v) in ng.values.iter().enumerate() {
-            let s = if i == ng.max_pos { 15 } else { meta.patterns[kp].nearest(v) };
+            let s = if i == ng.max_pos {
+                15
+            } else {
+                meta.patterns[kp].nearest(v)
+            };
             freqs[s as usize] += 1;
         }
     }
@@ -44,9 +50,18 @@ fn main() {
     }
     print_table(
         "Ablation A3 — code-length cap vs expected code length (K-cache symbols)",
-        &["Lengths", "E[len] (bits)", "vs entropy", "Decoder window", "64x8 parallel OK"],
+        &[
+            "Lengths",
+            "E[len] (bits)",
+            "vs entropy",
+            "Decoder window",
+            "64x8 parallel OK",
+        ],
         &rows,
     );
-    println!("\nSymbol entropy: {} bits. Beyond L=8 the gain is negligible while the", f(entropy, 3));
+    println!(
+        "\nSymbol entropy: {} bits. Beyond L=8 the gain is negligible while the",
+        f(entropy, 3)
+    );
     println!("speculative window outgrows the 15-bit chunk the hardware is built on.");
 }

@@ -2,12 +2,14 @@
 //! Target"): 32 B vs 64 B vs 128 B blocks trade metadata share, load
 //! granularity, and group-level adaptivity.
 
-use ecco_bench::{f, print_table};
 use ecco_baselines::{rtn_quantize, Granularity};
+use ecco_bench::{f, print_table};
 use ecco_tensor::{stats::nmse, synth::SynthSpec, TensorKind};
 
 fn main() {
-    let t = SynthSpec::for_kind(TensorKind::Weight, 128, 1024).seeded(31).generate();
+    let t = SynthSpec::for_kind(TensorKind::Weight, 128, 1024)
+        .seeded(31)
+        .generate();
     let mut rows = Vec::new();
     for (block_bytes, group) in [(32usize, 64usize), (64, 128), (128, 256)] {
         // Group-level adaptivity proxy: 4-bit quantization at the group
@@ -31,7 +33,14 @@ fn main() {
     }
     print_table(
         "Ablation A4 — compressed block size trade-off",
-        &["Block", "Group", "4-bit NMSE", "Header share", "Sectors", "Note"],
+        &[
+            "Block",
+            "Group",
+            "4-bit NMSE",
+            "Header share",
+            "Sectors",
+            "Note",
+        ],
         &rows,
     );
     println!("\n64 B balances metadata share against group adaptivity and matches the");

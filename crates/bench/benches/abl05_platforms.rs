@@ -45,8 +45,16 @@ fn main() {
     let raw = steady_state_hit_rate(l2, hot_set, 3);
     let compressed = steady_state_hit_rate(l2, hot_set / 4, 3);
     let rows = vec![
-        vec!["uncompressed".to_string(), "24 MiB".to_string(), format!("{}%", f(raw * 100.0, 1))],
-        vec!["Ecco 4x".to_string(), "6 MiB".to_string(), format!("{}%", f(compressed * 100.0, 1))],
+        vec![
+            "uncompressed".to_string(),
+            "24 MiB".to_string(),
+            format!("{}%", f(raw * 100.0, 1)),
+        ],
+        vec![
+            "Ecco 4x".to_string(),
+            "6 MiB".to_string(),
+            format!("{}%", f(compressed * 100.0, 1)),
+        ],
     ];
     print_table(
         "L2 residency of a 24 MiB hot set in an 8 MiB accelerator L2",

@@ -14,7 +14,11 @@ fn main() {
     let em = EnergyModel::a100();
     let wl = DecodeWorkload::new(ModelSpec::llama_13b(), 8, 2048);
     let mut rows = Vec::new();
-    let e_fp16 = em.step_energy(&engine, &wl.kernels(&ExecScheme::fp16_trt()), &ExecScheme::fp16_trt());
+    let e_fp16 = em.step_energy(
+        &engine,
+        &wl.kernels(&ExecScheme::fp16_trt()),
+        &ExecScheme::fp16_trt(),
+    );
     for scheme in ExecScheme::figure11_set() {
         let e = em.step_energy(&engine, &wl.kernels(&scheme), &scheme);
         rows.push(vec![
@@ -30,7 +34,11 @@ fn main() {
     );
     let mem_reduction = 47.84 / 11.96; // Figure 12 totals
     let single_gpu = {
-        let e = em.step_energy(&engine, &wl.kernels(&ExecScheme::ecco()), &ExecScheme::ecco());
+        let e = em.step_energy(
+            &engine,
+            &wl.kernels(&ExecScheme::ecco()),
+            &ExecScheme::ecco(),
+        );
         e_fp16 / e
     };
     println!(
@@ -41,9 +49,15 @@ fn main() {
     );
 
     // --- HPC adaptive mode: lossless fallback per group ---
-    let t = SynthSpec::for_kind(TensorKind::Weight, 64, 1024).seeded(61).generate();
+    let t = SynthSpec::for_kind(TensorKind::Weight, 64, 1024)
+        .seeded(61)
+        .generate();
     let mut rows = Vec::new();
-    for (label, tol) in [("strict 1e-3", 1e-3f64), ("default 1e-2", 1e-2), ("loose 5e-2", 5e-2)] {
+    for (label, tol) in [
+        ("strict 1e-3", 1e-3f64),
+        ("default 1e-2", 1e-2),
+        ("loose 5e-2", 5e-2),
+    ] {
         let codec = AdaptiveCodec::calibrate(
             &[&t],
             &EccoConfig::default(),

@@ -1,29 +1,172 @@
-//! Criterion micro-bench: software codec encode/decode throughput.
+//! Codec throughput: single-group encode/decode micro-benches plus the
+//! multi-block pipeline, with a machine-readable `BENCH_codec.json`
+//! recording symbols/s for the perf trajectory.
+//!
+//! The JSON compares four decode implementations on identical inputs:
+//!
+//! * `seq` — the sequential reference (`decode_group`),
+//! * `seed_port` — the seed's speculative decoder (Vec-per-path,
+//!   clone-per-merge), preserved in `ecco_hw::paradec::seed_port`,
+//! * `lut` — this PR's table-driven zero-allocation decoder,
+//! * `pipeline` — the rayon multi-block pipeline over the LUT decoder.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ecco_bits::Block64;
+use ecco_core::parallel::encode_groups_parallel_unchecked;
 use ecco_core::{decode_group, encode_group, EccoConfig, PatternSelector, TensorMetadata};
-use ecco_tensor::{synth::SynthSpec, TensorKind};
+use ecco_hw::paradec::seed_port;
+use ecco_hw::{decode_blocks_parallel, DecodeScratch, ParallelDecoder};
+use std::hint::black_box;
+use std::time::Instant;
+
+const GROUP: usize = 128;
 
 fn bench(c: &mut Criterion) {
-    let t = SynthSpec::for_kind(TensorKind::Weight, 64, 1024).seeded(1).generate();
+    use ecco_tensor::{synth::SynthSpec, TensorKind};
+    let t = SynthSpec::for_kind(TensorKind::Weight, 64, 1024)
+        .seeded(1)
+        .generate();
     let cfg = EccoConfig {
         num_patterns: 16,
         max_calibration_groups: 256,
         ..EccoConfig::default()
     };
     let meta = TensorMetadata::calibrate(&[&t], &cfg, PatternSelector::MseOptimal);
-    let group: Vec<f32> = t.groups(128).next().unwrap().to_vec();
+    let group: Vec<f32> = t.groups(GROUP).next().unwrap().to_vec();
     let (block, _) = encode_group(&group, &meta, PatternSelector::MseOptimal);
+    let blocks: Vec<Block64> = t
+        .groups(GROUP)
+        .map(|g| encode_group(g, &meta, PatternSelector::MseOptimal).0)
+        .collect();
 
     let mut g = c.benchmark_group("codec");
-    g.throughput(Throughput::Bytes(256));
+    g.throughput(Throughput::Bytes(2 * GROUP as u64));
     g.bench_function("encode_group_4x", |b| {
-        b.iter(|| encode_group(std::hint::black_box(&group), &meta, PatternSelector::MseOptimal))
+        b.iter(|| encode_group(black_box(&group), &meta, PatternSelector::MseOptimal))
     });
     g.bench_function("decode_group_4x", |b| {
-        b.iter(|| decode_group(std::hint::black_box(&block), &meta).unwrap())
+        b.iter(|| decode_group(black_box(&block), &meta).unwrap())
     });
     g.finish();
+
+    let mut g = c.benchmark_group("tensor_pipeline");
+    g.throughput(Throughput::Bytes(2 * t.len() as u64));
+    g.bench_function("pipeline_encode_tensor", |b| {
+        b.iter(|| {
+            encode_groups_parallel_unchecked(black_box(&t), &meta, PatternSelector::MseOptimal)
+        })
+    });
+    g.bench_function("pipeline_decode_tensor", |b| {
+        b.iter(|| decode_blocks_parallel(black_box(&blocks), &meta).unwrap())
+    });
+    g.finish();
+
+    write_bench_json(&meta, &blocks);
+}
+
+/// Mean ns of `f` over a time-boxed number of repetitions.
+fn time_ns<F: FnMut()>(mut f: F) -> f64 {
+    // Warm up once, then run for ~400 ms.
+    f();
+    let t0 = Instant::now();
+    let mut reps = 0u64;
+    while t0.elapsed().as_millis() < 400 {
+        f();
+        reps += 1;
+    }
+    t0.elapsed().as_nanos() as f64 / reps as f64
+}
+
+/// Hands the raw decoders the block's own codebook and data start bit —
+/// identical inputs for every contender, via the codec's header parser.
+fn parse_header<'m>(
+    block: &Block64,
+    meta: &'m TensorMetadata,
+) -> (&'m ecco_entropy::Codebook, usize) {
+    let h = ecco_core::parse_block_header(block, meta).expect("benchmark blocks are valid");
+    (&meta.books[h.kp][h.book_id], h.data_start)
+}
+
+fn write_bench_json(meta: &TensorMetadata, blocks: &[Block64]) {
+    let n = blocks.len();
+    let symbols = (n * GROUP) as f64;
+    let parsed: Vec<(&ecco_entropy::Codebook, usize)> =
+        blocks.iter().map(|b| parse_header(b, meta)).collect();
+    // Warm every LUT outside the timed region (a one-time cost per book).
+    for &(book, _) in &parsed {
+        let _ = ParallelDecoder::new(book);
+    }
+
+    // Raw symbol decode over the whole tensor: seed port vs LUT decoder.
+    let mut sink = Vec::with_capacity(GROUP);
+    let lut_ns = time_ns(|| {
+        for (blk, &(book, start)) in blocks.iter().zip(&parsed) {
+            let d = ParallelDecoder::new(book);
+            d.decode_into(black_box(blk), start, GROUP, &mut sink);
+        }
+    });
+    let seed_ns = time_ns(|| {
+        for (blk, &(book, start)) in blocks.iter().zip(&parsed) {
+            black_box(seed_port::decode(book, black_box(blk), start, GROUP));
+        }
+    });
+
+    // Full block reconstruction: sequential reference vs LUT model,
+    // single-threaded, then the rayon pipeline.
+    let seq_ns = time_ns(|| {
+        for blk in blocks {
+            black_box(decode_group(black_box(blk), meta).unwrap());
+        }
+    });
+    let mut scratch = DecodeScratch::default();
+    let mut values = Vec::with_capacity(GROUP);
+    let lut_block_ns = time_ns(|| {
+        for blk in blocks {
+            ecco_hw::decode_block_parallel_into(black_box(blk), meta, &mut scratch, &mut values)
+                .unwrap();
+        }
+    });
+    let pipeline_hw_ns = time_ns(|| {
+        black_box(decode_blocks_parallel(black_box(blocks), meta).unwrap());
+    });
+    let pipeline_ref_ns = time_ns(|| {
+        black_box(ecco_core::decode_groups_parallel(black_box(blocks), meta).unwrap());
+    });
+
+    let per_s = |ns: f64| symbols / ns * 1e9;
+    let json = format!(
+        "{{\n  \
+         \"bench\": \"codec_throughput\",\n  \
+         \"blocks\": {n},\n  \
+         \"group_size\": {GROUP},\n  \
+         \"threads\": {threads},\n  \
+         \"raw_decode\": {{\n    \
+           \"seed_port_syms_per_s\": {seed:.0},\n    \
+           \"lut_syms_per_s\": {lut:.0},\n    \
+           \"lut_vs_seed_port_speedup\": {raw_speedup:.2}\n  }},\n  \
+         \"block_decode\": {{\n    \
+           \"sequential_reference_syms_per_s\": {seq:.0},\n    \
+           \"lut_model_syms_per_s\": {lutb:.0},\n    \
+           \"pipeline_reference_syms_per_s\": {piper:.0},\n    \
+           \"pipeline_hw_model_syms_per_s\": {pipeh:.0},\n    \
+           \"pipeline_vs_sequential_speedup\": {pipe_speedup:.2}\n  }}\n}}\n",
+        threads = rayon::current_num_threads(),
+        seed = per_s(seed_ns),
+        lut = per_s(lut_ns),
+        raw_speedup = seed_ns / lut_ns,
+        seq = per_s(seq_ns),
+        lutb = per_s(lut_block_ns),
+        piper = per_s(pipeline_ref_ns),
+        pipeh = per_s(pipeline_hw_ns),
+        pipe_speedup = seq_ns / pipeline_ref_ns,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_codec.json");
+    std::fs::write(path, &json).expect("write BENCH_codec.json");
+    println!("\nBENCH_codec.json:\n{json}");
+    println!(
+        "LUT decoder is {:.1}x the seed implementation on identical inputs",
+        seed_ns / lut_ns
+    );
 }
 
 criterion_group!(benches, bench);

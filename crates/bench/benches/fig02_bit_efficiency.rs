@@ -14,7 +14,9 @@ fn main() {
     // (absmax 30-100x); those collapse coarse-granularity quantization to
     // near-zero entropy — the paper's leftmost panel. Boost two output
     // channels (rows) accordingly.
-    let mut tensor = SynthSpec::for_kind(TensorKind::Weight, 128, 1024).seeded(2).generate();
+    let mut tensor = SynthSpec::for_kind(TensorKind::Weight, 128, 1024)
+        .seeded(2)
+        .generate();
     {
         let cols = tensor.cols();
         for hot in [17usize, 93] {
@@ -62,8 +64,7 @@ fn main() {
         let _ = encode_group(g, &meta, PatternSelector::MseOptimal);
     }
     let (uniq, ent) = per_group_stats(&codes, group, 16);
-    let real_bits =
-        4.0 + meta.metadata_bytes() as f64 * 8.0 / tensor.len() as f64;
+    let real_bits = 4.0 + meta.metadata_bytes() as f64 * 8.0 / tensor.len() as f64;
     rows.push(vec![
         "Entropy-based (Ecco)".to_string(),
         f(uniq, 2),
@@ -74,10 +75,18 @@ fn main() {
 
     print_table(
         &format!("Figure 2 — bit efficiency over {n_groups} groups (4-bit budget)"),
-        &["Method", "UniqueVals/group", "AvgEntropy", "RealBits", "BitEfficiency"],
+        &[
+            "Method",
+            "UniqueVals/group",
+            "AvgEntropy",
+            "RealBits",
+            "BitEfficiency",
+        ],
         &rows,
     );
-    println!("\nPaper reference: 0.09/4.00/2.25% | 1.58/4.01/39.4% | 2.73/4.25/64.2% | 3.15/4.01/78.5%");
+    println!(
+        "\nPaper reference: 0.09/4.00/2.25% | 1.58/4.01/39.4% | 2.73/4.25/64.2% | 3.15/4.01/78.5%"
+    );
 }
 
 fn per_group_stats(codes: &[u16], group: usize, symbols: usize) -> (f64, f64) {

@@ -18,11 +18,7 @@ fn main() {
         fp16_total += wl.step_time(&engine, &ExecScheme::fp16_trt()).total;
         quarot_total += wl.step_time(&engine, &ExecScheme::quarot_eager()).total;
     }
-    rows.push(vec![
-        "FP16".to_string(),
-        f(fp16_total * 1e3, 1),
-        f(1.0, 2),
-    ]);
+    rows.push(vec!["FP16".to_string(), f(fp16_total * 1e3, 1), f(1.0, 2)]);
     rows.push(vec![
         "QuaRot (4-bit)".to_string(),
         f(quarot_total * 1e3, 1),
@@ -33,9 +29,7 @@ fn main() {
         &["Method", "Latency (ms)", "Normalized"],
         &rows,
     );
-    println!(
-        "\nPaper reference: QuaRot decoding ≈ 0.6x slower than FP16 (normalized ≈ 1.6)."
-    );
+    println!("\nPaper reference: QuaRot decoding ≈ 0.6x slower than FP16 (normalized ≈ 1.6).");
 
     // Figure 3b anatomy: where QuaRot's extra time goes on one step.
     let wl = DecodeWorkload::new(ModelSpec::llama_7b(), 1, 1536);

@@ -5,7 +5,9 @@ use ecco_core::{EccoConfig, KvCodec};
 use ecco_tensor::{synth::SynthSpec, TensorKind};
 
 fn main() {
-    let k = SynthSpec::for_kind(TensorKind::KCache, 128, 1024).seeded(7).generate();
+    let k = SynthSpec::for_kind(TensorKind::KCache, 128, 1024)
+        .seeded(7)
+        .generate();
     let codec = KvCodec::calibrate(&[&k], &EccoConfig::default());
     let meta = codec.metadata();
 
@@ -33,5 +35,8 @@ fn main() {
         "\n{:.1}% of centroids lie within |c| < 0.25 (paper: patterns are highly skewed\nbecause each group is scaled by its absmax, which is excluded from the pattern).",
         near_zero as f64 / total as f64 * 100.0
     );
-    assert!(near_zero * 2 > total, "patterns should be skewed toward zero");
+    assert!(
+        near_zero * 2 > total,
+        "patterns should be skewed toward zero"
+    );
 }

@@ -8,7 +8,13 @@ use ecco_tensor::{seed_for, synth::SynthSpec, Tensor, TensorKind};
 fn main() {
     let model = "LLaMA2-13B";
     let projections = [
-        "q_proj", "k_proj", "v_proj", "o_proj", "gate_proj", "up_proj", "down_proj",
+        "q_proj",
+        "k_proj",
+        "v_proj",
+        "o_proj",
+        "gate_proj",
+        "up_proj",
+        "down_proj",
     ];
     let mut rows = Vec::new();
 
@@ -32,7 +38,10 @@ fn main() {
         ]);
     }
 
-    for (name, kind) in [("k_cache", TensorKind::KCache), ("v_cache", TensorKind::VCache)] {
+    for (name, kind) in [
+        ("k_cache", TensorKind::KCache),
+        ("v_cache", TensorKind::VCache),
+    ] {
         let t = SynthSpec::for_kind(kind, 128, 1024)
             .seeded(seed_for(model, 0, name))
             .generate();

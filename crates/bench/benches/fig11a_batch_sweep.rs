@@ -43,6 +43,10 @@ fn main() {
     );
     let trt = geo_mean(&per_scheme_norm[0]);
     let awq = geo_mean(&per_scheme_norm[3]);
-    println!("\nEcco speedup (geo mean): {}x vs TRT-FP16, {}x vs AWQ", f(trt, 2), f(awq, 2));
+    println!(
+        "\nEcco speedup (geo mean): {}x vs TRT-FP16, {}x vs AWQ",
+        f(trt, 2),
+        f(awq, 2)
+    );
     println!("Paper reference: 2.6-3.2x vs FP16 (avg 2.9x); up to 2.9x vs AWQ, 2.4x vs Olive, 1.8x vs SmoothQuant.");
 }

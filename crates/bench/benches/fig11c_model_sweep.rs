@@ -40,5 +40,7 @@ fn main() {
         &rows,
     );
     println!("\nPaper reference: >2x vs FP16 on most models; Mistral-7B and LLaMA-2-70B");
-    println!("(grouped-query attention) gain less; averages 2.5x/2.2x/1.5x/2.1x vs FP16/Olive/SQ/AWQ.");
+    println!(
+        "(grouped-query attention) gain less; averages 2.5x/2.2x/1.5x/2.1x vs FP16/Olive/SQ/AWQ."
+    );
 }

@@ -30,7 +30,13 @@ fn main() {
         .collect();
     print_table(
         "Figure 12 — GPU memory, LLaMA-7B, batch 32, seq 2048",
-        &["Scheme", "Weights (GB)", "KV cache (GB)", "Total (GB)", "Reduction"],
+        &[
+            "Scheme",
+            "Weights (GB)",
+            "KV cache (GB)",
+            "Total (GB)",
+            "Reduction",
+        ],
         &rows,
     );
     println!("\nPaper reference: Ecco reduces memory 3.98x vs FP16 (codebook overhead only),");

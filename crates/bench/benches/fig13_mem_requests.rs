@@ -19,7 +19,12 @@ fn main() {
         .iter()
         .map(|s| {
             let r = engine.memory_requests(&kernel, s) as f64;
-            vec![s.name.clone(), format!("{}", r as u64), f(r / fp16, 3), f(fp16 / r, 2)]
+            vec![
+                s.name.clone(),
+                format!("{}", r as u64),
+                f(r / fp16, 3),
+                f(fp16 / r, 2),
+            ]
         })
         .collect();
     print_table(

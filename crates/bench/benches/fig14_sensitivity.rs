@@ -9,7 +9,10 @@ fn main() {
     let engine = SimEngine::new(GpuSpec::a100());
     let wl = DecodeWorkload::new(ModelSpec::llama_13b(), 8, 2048);
     let base = wl
-        .step_time(&engine, &ExecScheme::ecco_with(DecompressorModel::shipped()))
+        .step_time(
+            &engine,
+            &ExecScheme::ecco_with(DecompressorModel::shipped()),
+        )
         .total;
 
     let mut rows = Vec::new();

@@ -8,7 +8,13 @@ fn bench(c: &mut Criterion) {
         .map(|i| (((i * 37) % 113) as f32 / 56.5 - 1.0).tanh())
         .collect();
     c.bench_function("kmeans_127pts_15clusters", |b| {
-        b.iter(|| fit_scalar(std::hint::black_box(&points), None, &KmeansConfig::with_k(15)))
+        b.iter(|| {
+            fit_scalar(
+                std::hint::black_box(&points),
+                None,
+                &KmeansConfig::with_k(15),
+            )
+        })
     });
 }
 

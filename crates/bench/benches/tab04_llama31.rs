@@ -11,7 +11,8 @@ fn main() {
     let stack = LayerStack::build(&spec);
     // Table 4 anchor: the published QoQ row (82.17) pins this model's
     // ARC-c sensitivity; the other rows follow from measured errors.
-    let sens = zs.fit_arc_c_sensitivity(&spec, &stack, Method::QoqW4A8Kv4, FP16_LLAMA31_ARC_C, 82.17);
+    let sens =
+        zs.fit_arc_c_sensitivity(&spec, &stack, Method::QoqW4A8Kv4, FP16_LLAMA31_ARC_C, 82.17);
 
     let rows: Vec<Vec<String>> = [
         ("FP16 (original)", None),
@@ -35,5 +36,7 @@ fn main() {
         &["Method", "ARC-c"],
         &rows,
     );
-    println!("\nPaper reference: FP16 83.70 | AWQ 81.06 | Ecco(W) 82.85 | QoQ 82.17 | Ecco(full) 82.68.");
+    println!(
+        "\nPaper reference: FP16 83.70 | AWQ 81.06 | Ecco(W) 82.85 | QoQ 82.17 | Ecco(full) 82.68."
+    );
 }

@@ -9,7 +9,9 @@
 
 /// Returns `true` when reduced sweeps were requested via `ECCO_QUICK=1`.
 pub fn quick_mode() -> bool {
-    std::env::var("ECCO_QUICK").map(|v| v == "1").unwrap_or(false)
+    std::env::var("ECCO_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// Prints a fixed-width table: a header row, a rule, then rows.

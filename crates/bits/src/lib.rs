@@ -4,10 +4,17 @@
 //! DRAM→L2 transaction size chosen in Section 3.1 of the paper) holding a
 //! mix of fixed-width fields and variable-length Huffman codes. This crate
 //! provides the [`BitWriter`]/[`BitReader`] pair used by the codec and the
-//! hardware models, plus [`Block64`], the fixed-size block buffer.
+//! hardware models, [`Block64`], the fixed-size block buffer, and
+//! [`BlockCursor`], the zero-copy word-level window extractor the parallel
+//! decoder's hot path runs on.
 //!
 //! Bit order is MSB-first within each byte, matching the way the paper's
 //! decoder slices the 512-bit input into overlapping 15-bit windows.
+//!
+//! Both the writer and the reader move data at word granularity: the
+//! writer accumulates into a 64-bit register and flushes whole bytes, the
+//! reader gathers whole bytes into a 64-bit result — neither ever loops
+//! per bit.
 //!
 //! # Examples
 //!
@@ -36,6 +43,10 @@ pub const BLOCK_BITS: usize = BLOCK_BYTES * 8;
 
 /// An MSB-first bit accumulator backed by a growable byte buffer.
 ///
+/// Bits are staged in a 64-bit accumulator and flushed to the byte buffer
+/// a whole byte at a time, so a `write_bits` call costs a shift and at
+/// most a handful of byte stores — never a per-bit loop.
+///
 /// # Examples
 ///
 /// ```
@@ -50,7 +61,9 @@ pub const BLOCK_BITS: usize = BLOCK_BYTES * 8;
 #[derive(Clone, Default)]
 pub struct BitWriter {
     bytes: Vec<u8>,
-    bit_len: usize,
+    /// Pending bits, right-aligned; always fewer than 8 between calls.
+    acc: u64,
+    acc_bits: u32,
 }
 
 impl BitWriter {
@@ -63,19 +76,20 @@ impl BitWriter {
     pub fn with_capacity(bits: usize) -> BitWriter {
         BitWriter {
             bytes: Vec::with_capacity(bits.div_ceil(8)),
-            bit_len: 0,
+            acc: 0,
+            acc_bits: 0,
         }
     }
 
     /// Number of bits written so far.
     #[inline]
     pub fn bit_len(&self) -> usize {
-        self.bit_len
+        self.bytes.len() * 8 + self.acc_bits as usize
     }
 
     /// Returns `true` if no bits have been written.
     pub fn is_empty(&self) -> bool {
-        self.bit_len == 0
+        self.bit_len() == 0
     }
 
     /// Appends the low `n` bits of `value`, most significant first.
@@ -83,46 +97,67 @@ impl BitWriter {
     /// # Panics
     ///
     /// Panics if `n > 64` or if `value` has bits set above bit `n`.
+    #[inline]
     pub fn write_bits(&mut self, value: u64, n: u32) {
         assert!(n <= 64, "cannot write more than 64 bits at once");
         assert!(
             n == 64 || value < (1u64 << n),
             "value {value:#x} does not fit in {n} bits"
         );
-        for i in (0..n).rev() {
-            self.push_bit((value >> i) & 1 == 1);
+        if n > 32 {
+            // Split so the accumulator (holding < 8 pending bits) never
+            // overflows: each chunk is at most 32 bits.
+            self.write_chunk(value >> 32, n - 32);
+            self.write_chunk(value & 0xFFFF_FFFF, 32);
+        } else if n > 0 {
+            self.write_chunk(value, n);
         }
+    }
+
+    /// Core word-level append: `n <= 32`, `value < 2^n`.
+    #[inline]
+    fn write_chunk(&mut self, value: u64, n: u32) {
+        debug_assert!(n <= 32 && self.acc_bits < 8);
+        self.acc = (self.acc << n) | value;
+        self.acc_bits += n;
+        while self.acc_bits >= 8 {
+            self.acc_bits -= 8;
+            self.bytes.push((self.acc >> self.acc_bits) as u8);
+        }
+        self.acc &= (1u64 << self.acc_bits) - 1;
     }
 
     /// Appends a single bit.
     #[inline]
     pub fn push_bit(&mut self, bit: bool) {
-        let byte_idx = self.bit_len / 8;
-        if byte_idx == self.bytes.len() {
-            self.bytes.push(0);
-        }
-        if bit {
-            self.bytes[byte_idx] |= 1 << (7 - (self.bit_len % 8));
-        }
-        self.bit_len += 1;
+        self.write_chunk(bit as u64, 1);
     }
 
     /// Appends zero bits until `bit_len` reaches `target_bits`.
     ///
     /// Does nothing if the writer is already at or past the target.
     pub fn pad_to(&mut self, target_bits: usize) {
-        while self.bit_len < target_bits {
-            self.push_bit(false);
+        let mut need = target_bits.saturating_sub(self.bit_len());
+        while need > 0 {
+            let n = need.min(32) as u32;
+            self.write_chunk(0, n);
+            need -= n as usize;
         }
     }
 
     /// Consumes the writer, returning the packed bytes (zero-padded to a
     /// byte boundary).
-    pub fn into_bytes(self) -> Vec<u8> {
+    pub fn into_bytes(mut self) -> Vec<u8> {
+        if self.acc_bits > 0 {
+            let tail = (self.acc << (8 - self.acc_bits)) as u8;
+            self.bytes.push(tail);
+        }
         self.bytes
     }
 
-    /// Borrows the packed bytes written so far.
+    /// Borrows the *complete* bytes flushed so far. Up to 7 trailing bits
+    /// may still be pending in the accumulator; use [`BitWriter::into_bytes`]
+    /// for the padded full stream.
     pub fn as_bytes(&self) -> &[u8] {
         &self.bytes
     }
@@ -130,14 +165,15 @@ impl BitWriter {
 
 impl fmt::Debug for BitWriter {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "BitWriter({} bits)", self.bit_len)
+        write!(f, "BitWriter({} bits)", self.bit_len())
     }
 }
 
 /// An MSB-first bit cursor over a byte slice.
 ///
 /// Reads return `None` once fewer than the requested bits remain, which the
-/// codec uses to detect clipped (truncated) Huffman streams.
+/// codec uses to detect clipped (truncated) Huffman streams. Reads gather
+/// whole bytes, so a 64-bit read touches at most 9 bytes.
 ///
 /// # Examples
 ///
@@ -197,6 +233,7 @@ impl<'a> BitReader<'a> {
     /// # Panics
     ///
     /// Panics if `pos` is beyond the readable limit.
+    #[inline]
     pub fn seek(&mut self, pos: usize) {
         assert!(pos <= self.bit_end, "seek beyond end of stream");
         self.bit_pos = pos;
@@ -209,18 +246,14 @@ impl<'a> BitReader<'a> {
     /// # Panics
     ///
     /// Panics if `n > 64`.
+    #[inline]
     pub fn read_bits(&mut self, n: u32) -> Option<u64> {
         assert!(n <= 64, "cannot read more than 64 bits at once");
         if self.remaining() < n as usize {
             return None;
         }
-        let mut out = 0u64;
-        for _ in 0..n {
-            let byte = self.bytes[self.bit_pos / 8];
-            let bit = (byte >> (7 - (self.bit_pos % 8))) & 1;
-            out = (out << 1) | bit as u64;
-            self.bit_pos += 1;
-        }
+        let out = self.extract(self.bit_pos, n);
+        self.bit_pos += n as usize;
         Some(out)
     }
 
@@ -230,17 +263,34 @@ impl<'a> BitReader<'a> {
     ///
     /// This matches the hardware decoder, whose 15-bit windows run past the
     /// end of the 512-bit block and see zero fill.
+    #[inline]
     pub fn peek_bits_padded(&self, n: u32) -> u64 {
         assert!(n <= 64);
+        let avail = self.remaining().min(n as usize) as u32;
+        if avail == 0 {
+            // Also guards the n == 64 case below: a shift by n - avail
+            // = 64 would overflow.
+            return 0;
+        }
+        self.extract(self.bit_pos, avail) << (n - avail)
+    }
+
+    /// Gathers `n` in-bounds bits starting at absolute bit `pos`,
+    /// byte-at-a-time (word-level refill).
+    #[inline]
+    fn extract(&self, pos: usize, n: u32) -> u64 {
+        debug_assert!(pos + n as usize <= self.bit_end);
         let mut out = 0u64;
-        for i in 0..n as usize {
-            let pos = self.bit_pos + i;
-            let bit = if pos < self.bit_end {
-                (self.bytes[pos / 8] >> (7 - (pos % 8))) & 1
-            } else {
-                0
-            };
-            out = (out << 1) | bit as u64;
+        let mut p = pos;
+        let mut left = n;
+        while left > 0 {
+            let byte = self.bytes[p / 8] as u64;
+            let off = (p % 8) as u32;
+            let take = (8 - off).min(left);
+            let chunk = (byte >> (8 - off - take)) & ((1u64 << take) - 1);
+            out = (out << take) | chunk;
+            p += take as usize;
+            left -= take;
         }
         out
     }
@@ -311,6 +361,11 @@ impl Block64 {
     pub fn reader(&self) -> BitReader<'_> {
         BitReader::new(&self.bytes)
     }
+
+    /// Returns the word-level window cursor over this block.
+    pub fn cursor(&self) -> BlockCursor {
+        BlockCursor::new(self)
+    }
 }
 
 impl Default for Block64 {
@@ -326,6 +381,74 @@ impl fmt::Debug for Block64 {
             write!(f, "{b:02x}")?;
         }
         write!(f, "…)")
+    }
+}
+
+/// A seek-free window extractor over one 512-bit block.
+///
+/// The block is re-viewed once as eight big-endian 64-bit words (plus a
+/// zero guard word); after that, extracting any ≤ 57-bit window at any bit
+/// position is two shifts and an OR — no cursor state, no bounds loop, no
+/// reconstruction. This is the primitive the parallel decoder's
+/// sub-decoders use to slice the block into overlapping 15-bit windows:
+/// the seed implementation rebuilt a [`BitReader`] *per decoded symbol*;
+/// a [`BlockCursor`] is built once per block and then only does index math.
+///
+/// Windows past bit 512 read as zero fill, exactly like the hardware.
+///
+/// # Examples
+///
+/// ```
+/// use ecco_bits::{BitWriter, Block64};
+///
+/// let mut w = BitWriter::new();
+/// w.write_bits(0b1010_1100, 8);
+/// let block = Block64::from_writer(w).unwrap();
+/// let cur = block.cursor();
+/// assert_eq!(cur.window(0, 4), 0b1010);
+/// assert_eq!(cur.window(4, 4), 0b1100);
+/// // Past the end: zero padded.
+/// assert_eq!(cur.window(510, 15), 0);
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct BlockCursor {
+    /// The 512 block bits as big-endian words; `words[8]` is the zero
+    /// guard so windows starting in the last word need no branch.
+    words: [u64; 9],
+}
+
+impl BlockCursor {
+    /// Views `block` as nine big-endian words (eight data + zero guard).
+    pub fn new(block: &Block64) -> BlockCursor {
+        let mut words = [0u64; 9];
+        for (i, chunk) in block.as_bytes().chunks_exact(8).enumerate() {
+            words[i] = u64::from_be_bytes(chunk.try_into().expect("8-byte chunk"));
+        }
+        BlockCursor { words }
+    }
+
+    /// Extracts the `n`-bit window starting at absolute bit `pos`,
+    /// zero-padded past bit 512.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if `n > 57` or `pos >= 512`; the decoder only asks
+    /// for 15-bit windows inside the block.
+    #[inline]
+    pub fn window(&self, pos: usize, n: u32) -> u64 {
+        debug_assert!(n <= 57, "window wider than one guarded word pair");
+        debug_assert!(pos < BLOCK_BITS, "window start outside block");
+        let word = pos >> 6;
+        let off = (pos & 63) as u32;
+        // Concatenate the addressed word with its successor so any window
+        // of up to 57 bits is fully contained in `cat`'s top 64 bits.
+        let hi = self.words[word] << off;
+        let lo = if off == 0 {
+            0
+        } else {
+            self.words[word + 1] >> (64 - off)
+        };
+        (hi | lo) >> (64 - n)
     }
 }
 
@@ -369,6 +492,16 @@ mod tests {
     }
 
     #[test]
+    fn full_width_peek_at_end_is_zero() {
+        let mut r = BitReader::new(&[0xFF]);
+        r.seek(8);
+        assert_eq!(r.peek_bits_padded(64), 0);
+        assert_eq!(r.peek_bits_padded(0), 0);
+        r.seek(7);
+        assert_eq!(r.peek_bits_padded(64), 1u64 << 63);
+    }
+
+    #[test]
     fn with_limit_truncates() {
         let mut r = BitReader::with_limit(&[0xFF, 0xFF], 9);
         assert_eq!(r.read_bits(9), Some(0x1FF));
@@ -379,6 +512,19 @@ mod tests {
     #[should_panic(expected = "does not fit")]
     fn writer_rejects_oversized_value() {
         BitWriter::new().write_bits(0b100, 2);
+    }
+
+    #[test]
+    fn full_width_writes_roundtrip() {
+        let mut w = BitWriter::new();
+        w.write_bits(0xDEAD_BEEF_CAFE_F00D, 64);
+        w.write_bits(1, 1);
+        w.write_bits(u64::MAX, 64);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(64), Some(0xDEAD_BEEF_CAFE_F00D));
+        assert_eq!(r.read_bits(1), Some(1));
+        assert_eq!(r.read_bits(64), Some(u64::MAX));
     }
 
     #[test]
@@ -399,6 +545,23 @@ mod tests {
         assert_eq!(b.as_bytes()[0], 0xFF);
         assert_eq!(b.as_bytes()[1], 0xFF);
         assert!(b.as_bytes()[2..].iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn cursor_matches_reader_on_fixed_pattern() {
+        let mut w = BitWriter::new();
+        for i in 0..32u64 {
+            w.write_bits(i * 7 % 16, 4);
+            w.write_bits(i % 2, 1);
+        }
+        let block = Block64::from_writer(w).unwrap();
+        let cur = block.cursor();
+        let r = block.reader();
+        for pos in 0..BLOCK_BITS {
+            let mut rr = r.clone();
+            rr.seek(pos);
+            assert_eq!(cur.window(pos, 15), rr.peek_bits_padded(15), "pos {pos}");
+        }
     }
 
     proptest! {
@@ -429,6 +592,36 @@ mod tests {
             let b = r.peek_bits_padded(15);
             prop_assert_eq!(a, b);
             prop_assert_eq!(r.bit_pos(), pos);
+        }
+
+        #[test]
+        fn cursor_agrees_with_reader(data in prop::collection::vec(any::<u8>(), 64), pos in 0usize..512, n in 1u32..=57) {
+            let mut bytes = [0u8; BLOCK_BYTES];
+            bytes.copy_from_slice(&data);
+            let block = Block64::from_bytes(bytes);
+            let cur = block.cursor();
+            let mut r = block.reader();
+            r.seek(pos);
+            prop_assert_eq!(cur.window(pos, n), r.peek_bits_padded(n));
+        }
+
+        #[test]
+        fn writer_matches_bitwise_reference(fields in prop::collection::vec((0u64..u64::MAX, 1u32..=64), 0..32)) {
+            // Word-level writer vs a trivially-correct per-bit reference.
+            let mut w = BitWriter::new();
+            let mut reference: Vec<bool> = Vec::new();
+            for &(v, n) in &fields {
+                let masked = if n == 64 { v } else { v & ((1u64 << n) - 1) };
+                w.write_bits(masked, n);
+                for i in (0..n).rev() {
+                    reference.push((masked >> i) & 1 == 1);
+                }
+            }
+            let bytes = w.into_bytes();
+            for (i, &bit) in reference.iter().enumerate() {
+                let got = (bytes[i / 8] >> (7 - i % 8)) & 1 == 1;
+                prop_assert_eq!(got, bit, "bit {}", i);
+            }
         }
     }
 }

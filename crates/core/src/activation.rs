@@ -50,7 +50,11 @@ impl ActivationCodec {
     ///
     /// Panics if `group.len() != 64`.
     pub fn compress_group(&self, group: &[f32]) -> ActivationBlock {
-        assert_eq!(group.len(), ACT_GROUP_SIZE, "activation groups hold 64 values");
+        assert_eq!(
+            group.len(),
+            ACT_GROUP_SIZE,
+            "activation groups hold 64 values"
+        );
         let mut lo = f32::INFINITY;
         let mut hi = f32::NEG_INFINITY;
         for &x in group {
@@ -146,7 +150,9 @@ mod tests {
 
     #[test]
     fn roundtrip_tensor() {
-        let t = SynthSpec::for_kind(TensorKind::Activation, 32, 256).seeded(31).generate();
+        let t = SynthSpec::for_kind(TensorKind::Activation, 32, 256)
+            .seeded(31)
+            .generate();
         let codec = ActivationCodec::new();
         let (blocks, stats) = codec.compress(&t);
         let out = codec.decompress(&blocks, 32, 256);

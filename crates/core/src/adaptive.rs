@@ -165,7 +165,11 @@ impl AdaptiveCodec {
             blocks.push(ab);
         }
         stats.effective_ratio = (tensor.len() * 2) as f64 / stored_bytes as f64;
-        stats.nmse = if sum_ref > 0.0 { sum_err / sum_ref } else { 0.0 };
+        stats.nmse = if sum_ref > 0.0 {
+            sum_err / sum_ref
+        } else {
+            0.0
+        };
         (
             AdaptiveTensor {
                 rows: tensor.rows(),
@@ -212,7 +216,9 @@ mod tests {
 
     #[test]
     fn strict_policy_bounds_error() {
-        let t = SynthSpec::for_kind(TensorKind::Weight, 32, 1024).seeded(3001).generate();
+        let t = SynthSpec::for_kind(TensorKind::Weight, 32, 1024)
+            .seeded(3001)
+            .generate();
         // A tolerance inside the codec's per-group error distribution
         // (median group NMSE ~1e-2 on weights) forces a genuine mix.
         let policy = AdaptivePolicy {
@@ -222,7 +228,11 @@ mod tests {
         let codec = codec_for(&t, policy);
         let (blocks, stats) = codec.compress(&t);
         let out = codec.decompress(&blocks);
-        assert!(nmse(&t, &out) <= policy.max_group_nmse, "{}", nmse(&t, &out));
+        assert!(
+            nmse(&t, &out) <= policy.max_group_nmse,
+            "{}",
+            nmse(&t, &out)
+        );
         assert!(stats.compressed_groups > 0, "some groups must compress");
         assert!(stats.raw_groups > 0, "some groups must fall back");
         assert!(stats.effective_ratio > 1.0 && stats.effective_ratio < 4.0);
@@ -231,7 +241,9 @@ mod tests {
 
     #[test]
     fn zero_tolerance_stores_everything_raw() {
-        let t = SynthSpec::for_kind(TensorKind::Weight, 16, 1024).seeded(3002).generate();
+        let t = SynthSpec::for_kind(TensorKind::Weight, 16, 1024)
+            .seeded(3002)
+            .generate();
         let codec = codec_for(
             &t,
             AdaptivePolicy {
@@ -248,7 +260,9 @@ mod tests {
 
     #[test]
     fn loose_tolerance_compresses_everything() {
-        let t = SynthSpec::for_kind(TensorKind::Weight, 16, 1024).seeded(3003).generate();
+        let t = SynthSpec::for_kind(TensorKind::Weight, 16, 1024)
+            .seeded(3003)
+            .generate();
         let codec = codec_for(
             &t,
             AdaptivePolicy {
@@ -263,9 +277,23 @@ mod tests {
 
     #[test]
     fn ratio_interpolates_with_tolerance() {
-        let t = SynthSpec::for_kind(TensorKind::KCache, 32, 1024).seeded(3004).generate();
-        let strict = codec_for(&t, AdaptivePolicy { max_group_nmse: 1e-5, reject_clipped: true });
-        let loose = codec_for(&t, AdaptivePolicy { max_group_nmse: 1e-2, reject_clipped: true });
+        let t = SynthSpec::for_kind(TensorKind::KCache, 32, 1024)
+            .seeded(3004)
+            .generate();
+        let strict = codec_for(
+            &t,
+            AdaptivePolicy {
+                max_group_nmse: 1e-5,
+                reject_clipped: true,
+            },
+        );
+        let loose = codec_for(
+            &t,
+            AdaptivePolicy {
+                max_group_nmse: 1e-2,
+                reject_clipped: true,
+            },
+        );
         let (_, s1) = strict.compress(&t);
         let (_, s2) = loose.compress(&t);
         assert!(s2.effective_ratio >= s1.effective_ratio);

@@ -217,6 +217,61 @@ fn encode_group_full(
     (block, info)
 }
 
+/// The parsed fixed header of a block: `| ID_HF | SF | ID_KP |`.
+///
+/// All decoders — the sequential reference, the hardware parallel model
+/// and the benches' raw-decoder harnesses — parse the header through
+/// [`parse_block_header`], so the field layout lives in exactly one place.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BlockHeader {
+    /// Selected Huffman codebook within the pattern (`ID_HF`).
+    pub book_id: usize,
+    /// Selected shared pattern (`ID_KP`).
+    pub kp: usize,
+    /// Raw FP8 scale-factor byte (validated non-NaN).
+    pub sf_bits: u8,
+    /// Bit position where the Huffman data begins.
+    pub data_start: usize,
+}
+
+/// Parses and validates a block's header fields against `meta`.
+///
+/// # Errors
+///
+/// [`DecodeError`]s in the same precedence order every decoder reports:
+/// bad pattern id, then bad book id, then NaN scale factor.
+pub fn parse_block_header(
+    block: &Block64,
+    meta: &TensorMetadata,
+) -> Result<BlockHeader, DecodeError> {
+    let mut r = block.reader();
+    let book_id = if meta.id_hf_bits > 0 {
+        r.read_bits(meta.id_hf_bits).expect("block holds header") as usize
+    } else {
+        0
+    };
+    let sf_bits = r.read_bits(8).expect("block holds header") as u8;
+    let kp = meta
+        .pattern_code
+        .decode_symbol(&mut r)
+        .ok_or(DecodeError::BadPatternId)? as usize;
+    if kp >= meta.patterns.len() {
+        return Err(DecodeError::BadPatternId);
+    }
+    if book_id >= meta.books[kp].len() {
+        return Err(DecodeError::BadBookId);
+    }
+    if F8E4M3::from_bits(sf_bits).is_nan() {
+        return Err(DecodeError::BadScaleFactor);
+    }
+    Ok(BlockHeader {
+        book_id,
+        kp,
+        sf_bits,
+        data_start: r.bit_pos(),
+    })
+}
+
 /// Per-group decoding report.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct DecodedGroupInfo {
@@ -238,31 +293,13 @@ pub fn decode_group(
     block: &Block64,
     meta: &TensorMetadata,
 ) -> Result<(Vec<f32>, DecodedGroupInfo), DecodeError> {
+    let header = parse_block_header(block, meta)?;
+    let book = &meta.books[header.kp][header.book_id];
+    let pattern = &meta.patterns[header.kp];
     let mut r = block.reader();
-    let book_id = if meta.id_hf_bits > 0 {
-        r.read_bits(meta.id_hf_bits).expect("block holds header") as usize
-    } else {
-        0
-    };
-    let sf_bits = r.read_bits(8).expect("block holds header") as u8;
-    let kp = meta
-        .pattern_code
-        .decode_symbol(&mut r)
-        .ok_or(DecodeError::BadPatternId)? as usize;
-    if kp >= meta.patterns.len() {
-        return Err(DecodeError::BadPatternId);
-    }
-    let books = &meta.books[kp];
-    if book_id >= books.len() {
-        return Err(DecodeError::BadBookId);
-    }
-    let book = &books[book_id];
-    let pattern = &meta.patterns[kp];
+    r.seek(header.data_start);
 
-    let sf = F8E4M3::from_bits(sf_bits);
-    if sf.is_nan() {
-        return Err(DecodeError::BadScaleFactor);
-    }
+    let sf = F8E4M3::from_bits(header.sf_bits);
     // Reconstruction multiplies centroids by the true |scale factor| — an
     // all-zero group has scale 0 and reconstructs to exact zeros, exactly
     // like the hardware's `pattern × SF` multiplier.
@@ -353,7 +390,9 @@ mod tests {
 
     #[test]
     fn roundtrip_error_bounded() {
-        let t = SynthSpec::for_kind(TensorKind::Weight, 16, 512).seeded(11).generate();
+        let t = SynthSpec::for_kind(TensorKind::Weight, 16, 512)
+            .seeded(11)
+            .generate();
         let meta = meta_for(&t);
         for g in t.groups(128) {
             let (block, info) = encode_group(g, &meta, PatternSelector::MseOptimal);
@@ -374,7 +413,9 @@ mod tests {
 
     #[test]
     fn scale_position_reconstructs_signed_extreme() {
-        let t = SynthSpec::for_kind(TensorKind::Weight, 8, 512).seeded(12).generate();
+        let t = SynthSpec::for_kind(TensorKind::Weight, 8, 512)
+            .seeded(12)
+            .generate();
         let meta = meta_for(&t);
         for g in t.groups(128) {
             let (block, _) = encode_group(g, &meta, PatternSelector::MseOptimal);
@@ -394,7 +435,9 @@ mod tests {
 
     #[test]
     fn zero_group_roundtrips_to_zero() {
-        let t = SynthSpec::for_kind(TensorKind::Weight, 8, 512).seeded(13).generate();
+        let t = SynthSpec::for_kind(TensorKind::Weight, 8, 512)
+            .seeded(13)
+            .generate();
         let meta = meta_for(&t);
         let zeros = vec![0f32; 128];
         let (block, _info) = encode_group(&zeros, &meta, PatternSelector::MseOptimal);
@@ -436,16 +479,19 @@ mod tests {
     fn clip_point_is_unambiguous() {
         // Force clipping by building metadata whose codebooks are poorly
         // matched to the data (uniform books: 4 bits × 128 = 512 > budget).
-        let t = SynthSpec::for_kind(TensorKind::Weight, 8, 512).seeded(15).generate();
+        let t = SynthSpec::for_kind(TensorKind::Weight, 8, 512)
+            .seeded(15)
+            .generate();
         let mut meta = meta_for(&t);
-        let uniform =
-            ecco_entropy::Codebook::from_frequencies(&[1u64; 16], 4, 4).unwrap();
+        let uniform = ecco_entropy::Codebook::from_frequencies(&[1u64; 16], 4, 4).unwrap();
         for row in &mut meta.books {
             for b in row {
                 *b = uniform.clone();
             }
         }
-        let g: Vec<f32> = (0..128).map(|i| ((i * 37 % 128) as f32 - 64.0) * 0.01).collect();
+        let g: Vec<f32> = (0..128)
+            .map(|i| ((i * 37 % 128) as f32 - 64.0) * 0.01)
+            .collect();
         let (block, info) = encode_group(&g, &meta, PatternSelector::MseOptimal);
         assert!(info.clipped_symbols > 0, "clipping must occur");
         let (out, dinfo) = decode_group(&block, &meta).unwrap();
@@ -455,7 +501,9 @@ mod tests {
 
     #[test]
     fn corrupt_header_reports_errors() {
-        let t = SynthSpec::for_kind(TensorKind::Weight, 8, 512).seeded(16).generate();
+        let t = SynthSpec::for_kind(TensorKind::Weight, 8, 512)
+            .seeded(16)
+            .generate();
         let meta = meta_for(&t);
         let g = t.groups(128).next().unwrap();
         let (block, _) = encode_group(g, &meta, PatternSelector::MseOptimal);
@@ -469,7 +517,9 @@ mod tests {
 
     #[test]
     fn decode_never_panics_on_random_blocks() {
-        let t = SynthSpec::for_kind(TensorKind::Weight, 8, 512).seeded(17).generate();
+        let t = SynthSpec::for_kind(TensorKind::Weight, 8, 512)
+            .seeded(17)
+            .generate();
         let meta = meta_for(&t);
         let mut state = 0x12345678u64;
         for _ in 0..200 {
@@ -479,9 +529,8 @@ mod tests {
                 *b = (state >> 33) as u8;
             }
             let block = Block64::from_bytes(bytes);
-            match decode_group(&block, &meta) {
-                Ok((vals, _)) => assert_eq!(vals.len(), 128),
-                Err(_) => {}
+            if let Ok((vals, _)) = decode_group(&block, &meta) {
+                assert_eq!(vals.len(), 128)
             }
         }
     }

@@ -1,6 +1,6 @@
 //! Group normalization (steps 1–2 of the paper's Figure 4).
 
-use ecco_numerics::{F8E4M3, Po2Scale};
+use ecco_numerics::{Po2Scale, F8E4M3};
 
 /// A group after two-level normalization: the signed absmax has been
 /// quantized to FP8 under the per-tensor power-of-two scale, and every
@@ -120,7 +120,7 @@ mod tests {
         let g = [0.1f32, -5.0, 0.3, -0.2];
         let n = normalize_group(&g, Po2Scale::IDENTITY);
         let (lo, hi) = n.minmax_excluding_max();
-        assert!(lo >= -0.1 && lo <= 0.0, "lo {lo}");
+        assert!((-0.1..=0.0).contains(&lo), "lo {lo}");
         assert!(hi > 0.0 && hi < 0.1, "hi {hi}");
     }
 

@@ -137,7 +137,9 @@ mod tests {
     use ecco_tensor::{stats::nmse, synth::SynthSpec, TensorKind};
 
     fn kv_tensor(seed: u64) -> Tensor {
-        SynthSpec::for_kind(TensorKind::KCache, 64, 256).seeded(seed).generate()
+        SynthSpec::for_kind(TensorKind::KCache, 64, 256)
+            .seeded(seed)
+            .generate()
     }
 
     #[test]
@@ -204,7 +206,9 @@ mod tests {
         let kv_codec = KvCodec::calibrate(&[&k], &cfg);
         let (_, k_stats) = kv_codec.compress(&k);
 
-        let w = SynthSpec::for_kind(TensorKind::Weight, 64, 256).seeded(4).generate();
+        let w = SynthSpec::for_kind(TensorKind::Weight, 64, 256)
+            .seeded(4)
+            .generate();
         let w_codec = crate::WeightCodec::calibrate(&[&w], &cfg);
         let (_, w_stats) = w_codec.compress(&w);
 

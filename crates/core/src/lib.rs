@@ -51,6 +51,7 @@ pub mod group;
 pub mod kv;
 pub mod metadata;
 pub mod metrics;
+pub mod parallel;
 pub mod pattern;
 pub mod weight;
 
@@ -58,12 +59,13 @@ pub use activation::{ActivationBlock, ActivationCodec};
 pub use adaptive::{AdaptiveBlock, AdaptiveCodec, AdaptivePolicy, AdaptiveStats, AdaptiveTensor};
 pub use block::{
     decode_group, encode_group, encode_group_unpadded, encode_group_with_pattern,
-    EncodedGroupInfo,
+    parse_block_header, BlockHeader, EncodedGroupInfo,
 };
 pub use group::{normalize_group, NormalizedGroup};
 pub use kv::KvCodec;
 pub use metadata::{PatternSelector, TensorMetadata};
 pub use metrics::CodecStats;
+pub use parallel::{decode_groups_parallel, encode_groups_parallel};
 pub use pattern::{KmeansPattern, NUM_CENTROIDS, SCALE_SYMBOL, SYMBOL_COUNT};
 pub use weight::{CompressedTensor, WeightCodec};
 

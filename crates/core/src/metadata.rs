@@ -2,7 +2,7 @@
 
 use ecco_entropy::huffman::Codebook;
 use ecco_kmeans::{fit_vectors, KmeansConfig};
-use ecco_numerics::{F8E4M3, Po2Scale};
+use ecco_numerics::{Po2Scale, F8E4M3};
 use ecco_tensor::Tensor;
 use serde::{Deserialize, Serialize};
 
@@ -313,9 +313,8 @@ fn argmin(scores: impl Iterator<Item = f64>) -> usize {
 /// distributions and converts each to a 2..=8-bit codebook (steps 6–7).
 fn build_books(hists: &[Vec<f32>], h: usize, seed: u64) -> Vec<Codebook> {
     const FREQ_SCALE: f32 = 1e6;
-    let uniform = || {
-        Codebook::from_frequencies(&[1u64; SYMBOL_COUNT], 2, 8).expect("uniform book is valid")
-    };
+    let uniform =
+        || Codebook::from_frequencies(&[1u64; SYMBOL_COUNT], 2, 8).expect("uniform book is valid");
     if hists.is_empty() {
         return (0..h).map(|_| uniform()).collect();
     }
@@ -350,7 +349,9 @@ mod tests {
     }
 
     fn weight_tensor(seed: u64) -> Tensor {
-        SynthSpec::for_kind(TensorKind::Weight, 32, 512).seeded(seed).generate()
+        SynthSpec::for_kind(TensorKind::Weight, 32, 512)
+            .seeded(seed)
+            .generate()
     }
 
     #[test]
@@ -397,11 +398,8 @@ mod tests {
     #[test]
     fn metadata_is_small() {
         let t = weight_tensor(3);
-        let meta = TensorMetadata::calibrate(
-            &[&t],
-            &EccoConfig::default(),
-            PatternSelector::MseOptimal,
-        );
+        let meta =
+            TensorMetadata::calibrate(&[&t], &EccoConfig::default(), PatternSelector::MseOptimal);
         // S=64, H=4: patterns 64*30B + books 64*4*8B + pattern code.
         assert!(meta.metadata_bytes() < 8192, "{}", meta.metadata_bytes());
     }

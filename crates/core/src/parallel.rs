@@ -1,0 +1,235 @@
+//! Multi-block codec pipeline: encode/decode a whole tensor's worth of
+//! [`Block64`]s across a thread pool.
+//!
+//! Ecco's block format makes every 64-byte block independently decodable
+//! (each carries its own header, and the shared metadata is read-only), so
+//! a tensor is embarrassingly parallel across its groups — the same
+//! property BGZF exploits to decompress genomic archives block-parallel.
+//! This module shards the group/block array into one contiguous run per
+//! worker, encodes or decodes each run with thread-local buffers, and
+//! reassembles results in order, so output is bit-identical to the
+//! sequential paths ([`encode_group`]/[`decode_group`]).
+//!
+//! The hardware-model twin (batch decode through the speculative parallel
+//! decoder) lives in `ecco-hw::paradec::decode_blocks_parallel`, which
+//! reuses the same sharding shape.
+
+use ecco_bits::Block64;
+use ecco_tensor::Tensor;
+use rayon::prelude::*;
+
+use crate::block::{decode_group, encode_group, DecodeError, EncodedGroupInfo};
+use crate::metadata::{PatternSelector, TensorMetadata};
+use crate::metrics::CodecStats;
+
+/// Worker threads the pipeline shards across (the rayon pool size).
+pub fn worker_threads() -> usize {
+    rayon::current_num_threads()
+}
+
+/// Number of groups each worker processes as one contiguous run — the
+/// sharding policy shared by every multi-block pipeline (including the
+/// hardware-model twin in `ecco-hw`).
+///
+/// One shard per worker thread keeps scheduling overhead at a single
+/// spawn per thread while the runs stay large enough (hundreds of groups
+/// for real tensors) that imbalance is noise.
+pub fn shard_groups(total: usize) -> usize {
+    total.div_ceil(rayon::current_num_threads()).max(1)
+}
+
+/// Encodes every `meta.group_size`-value group of `tensor` into blocks,
+/// in parallel, returning the blocks in group order plus merged encoding
+/// statistics (including round-trip error, as [`crate::WeightCodec::compress`]
+/// reports).
+///
+/// Bit-identical to calling [`encode_group`] sequentially per group.
+///
+/// # Panics
+///
+/// Panics if the tensor length is not a multiple of the group size.
+pub fn encode_groups_parallel(
+    tensor: &Tensor,
+    meta: &TensorMetadata,
+    selector: PatternSelector,
+) -> (Vec<Block64>, CodecStats) {
+    let gs = meta.group_size;
+    assert_eq!(tensor.len() % gs, 0, "tensor not a multiple of group size");
+    let total = tensor.len() / gs;
+    let shard = shard_groups(total) * gs;
+
+    let parts: Vec<(Vec<Block64>, CodecStats)> = tensor
+        .data()
+        .par_chunks(shard)
+        .map(|run| {
+            let mut blocks = Vec::with_capacity(run.len() / gs);
+            let mut stats = CodecStats::default();
+            for g in run.chunks_exact(gs) {
+                let (block, info) = encode_group(g, meta, selector);
+                stats.record(&info, gs);
+                let (out, _) = decode_group(&block, meta).expect("own blocks decode");
+                stats.record_error(g, &out);
+                blocks.push(block);
+            }
+            (blocks, stats)
+        })
+        .collect();
+
+    let mut blocks = Vec::with_capacity(total);
+    let mut stats = CodecStats::default();
+    for (b, s) in parts {
+        blocks.extend(b);
+        stats.merge(&s);
+    }
+    (blocks, stats)
+}
+
+/// Like [`encode_groups_parallel`] but without the round-trip error pass —
+/// the fastest path when only the blocks (and clip/pad accounting) are
+/// needed, e.g. for throughput benchmarking.
+pub fn encode_groups_parallel_unchecked(
+    tensor: &Tensor,
+    meta: &TensorMetadata,
+    selector: PatternSelector,
+) -> (Vec<Block64>, Vec<EncodedGroupInfo>) {
+    let gs = meta.group_size;
+    assert_eq!(tensor.len() % gs, 0, "tensor not a multiple of group size");
+    let total = tensor.len() / gs;
+    let shard = shard_groups(total) * gs;
+
+    let parts: Vec<Vec<(Block64, EncodedGroupInfo)>> = tensor
+        .data()
+        .par_chunks(shard)
+        .map(|run| {
+            run.chunks_exact(gs)
+                .map(|g| encode_group(g, meta, selector))
+                .collect()
+        })
+        .collect();
+
+    let mut blocks = Vec::with_capacity(total);
+    let mut infos = Vec::with_capacity(total);
+    for part in parts {
+        for (b, i) in part {
+            blocks.push(b);
+            infos.push(i);
+        }
+    }
+    (blocks, infos)
+}
+
+/// Decodes `blocks` back into a flat value stream, in parallel, in block
+/// order. Bit-identical to calling [`decode_group`] per block.
+///
+/// # Errors
+///
+/// Returns the first [`DecodeError`] in block order, as the sequential
+/// loop would.
+pub fn decode_groups_parallel(
+    blocks: &[Block64],
+    meta: &TensorMetadata,
+) -> Result<Vec<f32>, DecodeError> {
+    let gs = meta.group_size;
+    let shard = shard_groups(blocks.len());
+
+    let parts: Vec<Result<Vec<f32>, DecodeError>> = blocks
+        .par_chunks(shard)
+        .map(|run| {
+            let mut values = Vec::with_capacity(run.len() * gs);
+            for b in run {
+                let (v, _) = decode_group(b, meta)?;
+                values.extend_from_slice(&v);
+            }
+            Ok(values)
+        })
+        .collect();
+
+    let mut out = Vec::with_capacity(blocks.len() * gs);
+    for p in parts {
+        out.extend(p?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EccoConfig;
+    use ecco_tensor::{synth::SynthSpec, TensorKind};
+
+    fn meta_for(t: &Tensor) -> TensorMetadata {
+        let cfg = EccoConfig {
+            num_patterns: 16,
+            books_per_pattern: 4,
+            max_calibration_groups: 128,
+            ..EccoConfig::default()
+        };
+        TensorMetadata::calibrate(&[t], &cfg, PatternSelector::MseOptimal)
+    }
+
+    #[test]
+    fn parallel_encode_matches_sequential() {
+        let t = SynthSpec::for_kind(TensorKind::Weight, 16, 512)
+            .seeded(301)
+            .generate();
+        let meta = meta_for(&t);
+        let (par_blocks, par_stats) =
+            encode_groups_parallel(&t, &meta, PatternSelector::MseOptimal);
+
+        let mut seq_blocks = Vec::new();
+        let mut seq_stats = CodecStats::default();
+        for g in t.groups(128) {
+            let (b, info) = encode_group(g, &meta, PatternSelector::MseOptimal);
+            seq_stats.record(&info, 128);
+            let (out, _) = decode_group(&b, &meta).unwrap();
+            seq_stats.record_error(g, &out);
+            seq_blocks.push(b);
+        }
+        assert_eq!(par_blocks, seq_blocks, "blocks must be bit-identical");
+        assert_eq!(par_stats.groups, seq_stats.groups);
+        assert_eq!(par_stats.clipped_symbols, seq_stats.clipped_symbols);
+        assert_eq!(par_stats.padded_outliers, seq_stats.padded_outliers);
+        assert!((par_stats.nmse() - seq_stats.nmse()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_decode_matches_sequential() {
+        let t = SynthSpec::for_kind(TensorKind::KCache, 16, 512)
+            .seeded(302)
+            .generate();
+        let meta = meta_for(&t);
+        let (blocks, _) = encode_groups_parallel(&t, &meta, PatternSelector::MinMax);
+        let par = decode_groups_parallel(&blocks, &meta).unwrap();
+        let mut seq = Vec::new();
+        for b in &blocks {
+            seq.extend(decode_group(b, &meta).unwrap().0);
+        }
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn unchecked_encode_matches_checked_blocks() {
+        let t = SynthSpec::for_kind(TensorKind::Weight, 8, 512)
+            .seeded(303)
+            .generate();
+        let meta = meta_for(&t);
+        let (a, _) = encode_groups_parallel(&t, &meta, PatternSelector::MseOptimal);
+        let (b, infos) = encode_groups_parallel_unchecked(&t, &meta, PatternSelector::MseOptimal);
+        assert_eq!(a, b);
+        assert_eq!(infos.len(), b.len());
+    }
+
+    #[test]
+    fn single_threaded_env_still_correct() {
+        // The shard math must hold for one worker and tiny inputs.
+        let t = SynthSpec::for_kind(TensorKind::Weight, 1, 128)
+            .seeded(304)
+            .generate();
+        let meta = meta_for(&t);
+        let (blocks, stats) = encode_groups_parallel(&t, &meta, PatternSelector::MseOptimal);
+        assert_eq!(blocks.len(), 1);
+        assert_eq!(stats.groups, 1);
+        let vals = decode_groups_parallel(&blocks, &meta).unwrap();
+        assert_eq!(vals.len(), 128);
+    }
+}

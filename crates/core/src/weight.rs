@@ -115,11 +115,7 @@ impl WeightCodec {
     /// # Panics
     ///
     /// Panics if any tensor's column count differs from `col_mags.len()`.
-    pub fn calibrate_aware(
-        tensors: &[&Tensor],
-        col_mags: &[f32],
-        cfg: &EccoConfig,
-    ) -> WeightCodec {
+    pub fn calibrate_aware(tensors: &[&Tensor], col_mags: &[f32], cfg: &EccoConfig) -> WeightCodec {
         let mags: Vec<&[f32]> = tensors.iter().map(|_| col_mags).collect();
         WeightCodec {
             meta: TensorMetadata::calibrate_weighted(
@@ -189,6 +185,48 @@ impl WeightCodec {
         )
     }
 
+    /// [`WeightCodec::compress`] across a thread pool: groups are sharded
+    /// over workers and encoded independently, producing bit-identical
+    /// blocks and the same statistics (see [`crate::parallel`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor length is not a multiple of the group size.
+    pub fn compress_parallel(&self, tensor: &Tensor) -> (CompressedTensor, CodecStats) {
+        assert!(
+            self.act_mags.is_none(),
+            "activation-aware compression is calibration-bound; use compress()"
+        );
+        let scale = TensorMetadata::scale_for(tensor);
+        let meta = self.meta.with_scale(scale);
+        let (blocks, stats) =
+            crate::parallel::encode_groups_parallel(tensor, &meta, PatternSelector::MseOptimal);
+        (
+            CompressedTensor {
+                rows: tensor.rows(),
+                cols: tensor.cols(),
+                group_size: meta.group_size,
+                tensor_scale: scale,
+                blocks,
+            },
+            stats,
+        )
+    }
+
+    /// [`WeightCodec::decompress`] across a thread pool; bit-identical
+    /// output.
+    ///
+    /// # Panics
+    ///
+    /// Panics on mismatched group size or corrupted blocks.
+    pub fn decompress_parallel(&self, ct: &CompressedTensor) -> Tensor {
+        assert_eq!(ct.group_size, self.meta.group_size, "group size mismatch");
+        let meta = self.meta.with_scale(ct.tensor_scale);
+        let data =
+            crate::parallel::decode_groups_parallel(ct.blocks(), &meta).expect("valid blocks");
+        Tensor::from_vec(ct.rows, ct.cols, data)
+    }
+
     /// Decompresses back to FP16 values.
     ///
     /// # Panics
@@ -239,20 +277,27 @@ mod tests {
 
     #[test]
     fn roundtrip_preserves_shape_and_quality() {
-        let t = SynthSpec::for_kind(TensorKind::Weight, 32, 512).seeded(21).generate();
+        let t = SynthSpec::for_kind(TensorKind::Weight, 32, 512)
+            .seeded(21)
+            .generate();
         let codec = WeightCodec::calibrate(&[&t], &cfg());
         let (out, stats) = codec.roundtrip(&t);
         assert_eq!((out.rows(), out.cols()), (32, 512));
         let e = nmse(&t, &out);
         assert!(e < 0.01, "weight NMSE {e}");
-        assert!((stats.nmse() - e).abs() < 1e-9, "stats agree with direct NMSE");
+        assert!(
+            (stats.nmse() - e).abs() < 1e-9,
+            "stats agree with direct NMSE"
+        );
     }
 
     #[test]
     fn ecco_beats_uniform_int4_on_same_groups() {
         // The headline accuracy claim: non-uniform k-means + Huffman +
         // padding beats plain round-to-nearest 4-bit on the same grouping.
-        let t = SynthSpec::for_kind(TensorKind::Weight, 32, 512).seeded(22).generate();
+        let t = SynthSpec::for_kind(TensorKind::Weight, 32, 512)
+            .seeded(22)
+            .generate();
         let codec = WeightCodec::calibrate(&[&t], &cfg());
         let (out, _) = codec.roundtrip(&t);
         let ecco_err = nmse(&t, &out);
@@ -279,12 +324,32 @@ mod tests {
     }
 
     #[test]
+    fn parallel_compress_matches_sequential() {
+        let t = SynthSpec::for_kind(TensorKind::Weight, 32, 512)
+            .seeded(25)
+            .generate();
+        let codec = WeightCodec::calibrate(&[&t], &cfg());
+        let (ct_seq, stats_seq) = codec.compress(&t);
+        let (ct_par, stats_par) = codec.compress_parallel(&t);
+        assert_eq!(ct_seq.blocks(), ct_par.blocks(), "bit-identical blocks");
+        assert_eq!(stats_seq.groups, stats_par.groups);
+        assert!((stats_seq.nmse() - stats_par.nmse()).abs() < 1e-12);
+        let out_seq = codec.decompress(&ct_seq);
+        let out_par = codec.decompress_parallel(&ct_par);
+        assert_eq!(out_seq.data(), out_par.data());
+    }
+
+    #[test]
     fn cross_tensor_calibration() {
         // Calibrate on one tensor, compress another from the same
         // distribution family: quality must hold (shared patterns
         // generalize).
-        let a = SynthSpec::for_kind(TensorKind::Weight, 32, 512).seeded(23).generate();
-        let b = SynthSpec::for_kind(TensorKind::Weight, 32, 512).seeded(24).generate();
+        let a = SynthSpec::for_kind(TensorKind::Weight, 32, 512)
+            .seeded(23)
+            .generate();
+        let b = SynthSpec::for_kind(TensorKind::Weight, 32, 512)
+            .seeded(24)
+            .generate();
         let codec = WeightCodec::calibrate(&[&a], &cfg());
         let (out, _) = codec.roundtrip(&b);
         assert!(nmse(&b, &out) < 0.02);

@@ -8,9 +8,12 @@
 //! codebook is fully described by its length vector.
 
 use std::fmt;
+use std::sync::{Arc, OnceLock};
 
 use ecco_bits::{BitReader, BitWriter};
 use serde::{Deserialize, Serialize};
+
+use crate::lut::SegmentLut;
 
 /// Errors from codebook construction.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -66,9 +69,8 @@ fn package_merge(weights: &[u64], max_len: u8) -> Vec<u8> {
     }
 
     let adjusted: Vec<u64> = weights.iter().map(|&w| w.max(1)).collect();
-    let mut singletons: Vec<(u64, Vec<u16>)> = (0..n)
-        .map(|i| (adjusted[i], vec![i as u16]))
-        .collect();
+    let mut singletons: Vec<(u64, Vec<u16>)> =
+        (0..n).map(|i| (adjusted[i], vec![i as u16])).collect();
     singletons.sort_by_key(|p| p.0);
 
     let mut packages = singletons.clone();
@@ -84,8 +86,8 @@ fn package_merge(weights: &[u64], max_len: u8) -> Vec<u8> {
         let mut next = Vec::with_capacity(merged.len() + n);
         let (mut i, mut j) = (0, 0);
         while i < singletons.len() || j < merged.len() {
-            let take_single = j >= merged.len()
-                || (i < singletons.len() && singletons[i].0 <= merged[j].0);
+            let take_single =
+                j >= merged.len() || (i < singletons.len() && singletons[i].0 <= merged[j].0);
             if take_single {
                 next.push(singletons[i].clone());
                 i += 1;
@@ -122,7 +124,7 @@ fn package_merge(weights: &[u64], max_len: u8) -> Vec<u8> {
 /// assert!(book.code_len(0) <= book.code_len(3));
 /// assert!(book.kraft_sum() <= 1.0 + 1e-12);
 /// ```
-#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Serialize, Deserialize)]
 pub struct Codebook {
     lengths: Vec<u8>,
     codes: Vec<u16>,
@@ -131,7 +133,21 @@ pub struct Codebook {
     /// with length 0 marking an invalid prefix.
     #[serde(skip)]
     lut: Vec<(u16, u8)>,
+    /// Lazily-built parallel-decoder chain table (256 KiB), shared across
+    /// clones of this book via the `Arc`. See [`Codebook::segment_lut`].
+    #[serde(skip)]
+    seg_lut: OnceLock<Arc<SegmentLut>>,
 }
+
+impl PartialEq for Codebook {
+    fn eq(&self, other: &Codebook) -> bool {
+        // Canonical codes are fully determined by the length vector; the
+        // decode tables are derived caches and excluded on purpose.
+        self.lengths == other.lengths
+    }
+}
+
+impl Eq for Codebook {}
 
 impl Codebook {
     /// Builds an optimal canonical code for `freqs` with code lengths in
@@ -186,10 +202,7 @@ impl Codebook {
                 max_len,
             });
         }
-        let kraft: u64 = lengths
-            .iter()
-            .map(|&l| 1u64 << (max_len - l) as u32)
-            .sum();
+        let kraft: u64 = lengths.iter().map(|&l| 1u64 << (max_len - l) as u32).sum();
         if kraft > 1u64 << max_len {
             return Err(CodebookError::KraftViolation);
         }
@@ -223,14 +236,28 @@ impl Codebook {
             codes,
             max_len,
             lut,
+            seg_lut: OnceLock::new(),
         })
     }
 
-    /// Rebuilds the decode table after deserialization (the LUT is not
+    /// Rebuilds the decode tables after deserialization (the LUTs are not
     /// serialized).
     pub fn rebuild_tables(&mut self) {
         let rebuilt = Codebook::from_lengths(&self.lengths).expect("lengths were validated");
         self.lut = rebuilt.lut;
+        self.seg_lut = OnceLock::new();
+    }
+
+    /// The parallel-decoder chain table for this book, built on first use
+    /// and shared (via `Arc`) by every clone made after that.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless all code lengths are in `2..=8` (the parallel-decode
+    /// constraint); see [`SegmentLut::build`].
+    pub fn segment_lut(&self) -> &SegmentLut {
+        self.seg_lut
+            .get_or_init(|| Arc::new(SegmentLut::build(self)))
     }
 
     /// Number of symbols in the alphabet.
@@ -318,10 +345,7 @@ impl Codebook {
 
     /// The Kraft sum `Σ 2^-len` (≤ 1 for any prefix-free code).
     pub fn kraft_sum(&self) -> f64 {
-        self.lengths
-            .iter()
-            .map(|&l| 2f64.powi(-(l as i32)))
-            .sum()
+        self.lengths.iter().map(|&l| 2f64.powi(-(l as i32))).sum()
     }
 
     /// Expected code length in bits under the frequency vector `freqs`.
@@ -415,7 +439,10 @@ mod tests {
         let h = shannon_entropy(&freqs);
         let el = book.expected_len(&freqs);
         assert!(el >= h - 1e-9, "expected length below entropy: {el} < {h}");
-        assert!(el <= h + 1.0, "Huffman within 1 bit of entropy: {el} vs {h}");
+        assert!(
+            el <= h + 1.0,
+            "Huffman within 1 bit of entropy: {el} vs {h}"
+        );
     }
 
     #[test]

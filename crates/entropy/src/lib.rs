@@ -12,7 +12,9 @@
 //!   bit-efficiency metric `η = H / B_real`,
 //! * [`huffman`] — optimal length-limited prefix codes via the
 //!   package-merge algorithm, canonical code assignment, and bitstream
-//!   encode/decode on top of [`ecco_bits`].
+//!   encode/decode on top of [`ecco_bits`],
+//! * [`lut`] — precomputed per-codebook sub-decoder chain tables, the
+//!   single-probe primitive behind the parallel decoder's hot path.
 //!
 //! # Examples
 //!
@@ -39,7 +41,9 @@
 #![warn(missing_docs)]
 
 pub mod huffman;
+pub mod lut;
 pub mod stats;
 
 pub use huffman::{Codebook, CodebookError};
+pub use lut::{ChainEntry, SegmentLut};
 pub use stats::{bit_efficiency, shannon_entropy, unique_values, BitEfficiency};

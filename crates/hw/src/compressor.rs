@@ -187,7 +187,9 @@ mod tests {
 
     #[test]
     fn equivalent_to_reference_codec() {
-        let t = SynthSpec::for_kind(TensorKind::KCache, 16, 512).seeded(111).generate();
+        let t = SynthSpec::for_kind(TensorKind::KCache, 16, 512)
+            .seeded(111)
+            .generate();
         let meta = meta_for(&t);
         let hw = HwCompressor::new(&meta);
         for g in t.groups(128) {
@@ -200,7 +202,9 @@ mod tests {
 
     #[test]
     fn trace_reports_pipeline_shape() {
-        let t = SynthSpec::for_kind(TensorKind::VCache, 8, 512).seeded(112).generate();
+        let t = SynthSpec::for_kind(TensorKind::VCache, 8, 512)
+            .seeded(112)
+            .generate();
         let meta = meta_for(&t);
         let hw = HwCompressor::new(&meta);
         let g = t.groups(128).next().unwrap();
@@ -212,7 +216,9 @@ mod tests {
 
     #[test]
     fn rejects_oversized_pattern_sets() {
-        let t = SynthSpec::for_kind(TensorKind::Weight, 8, 512).seeded(113).generate();
+        let t = SynthSpec::for_kind(TensorKind::Weight, 8, 512)
+            .seeded(113)
+            .generate();
         let cfg = EccoConfig {
             num_patterns: 64,
             max_calibration_groups: 64,

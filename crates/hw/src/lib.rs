@@ -28,5 +28,8 @@ pub mod pipeline;
 pub use area::{AreaPowerModel, ComponentArea};
 pub use bitonic::BitonicSorter;
 pub use compressor::HwCompressor;
-pub use paradec::{decode_block_parallel, ParallelDecoder};
+pub use paradec::{
+    decode_block_parallel, decode_block_parallel_into, decode_blocks_parallel, DecodeScratch,
+    DecodeStats, ParallelDecoder,
+};
 pub use pipeline::{PipelineSpec, StreamSim, StreamStats};

@@ -1,18 +1,55 @@
-//! The speculative parallel Huffman decoder (Figure 8 of the paper).
+//! The speculative parallel Huffman decoder (Figure 8 of the paper),
+//! implemented as a **table-driven, zero-allocation** hot path.
+//!
+//! # Algorithm
 //!
 //! The 512-bit block is cut into 64 segments of 8 bits. Because code
 //! lengths are limited to 2..=8 bits, a segment contains the *start* of
 //! between one and four codes, and any code starting in a segment ends
 //! within a 15-bit window (7-bit overlap into the next segment). Each
 //! segment is decoded speculatively by **8 sub-decoders**, one per
-//! possible entry offset 0..=7; a 6-stage binary concatenation tree then
-//! chains segments by matching each path's end-of-parse offset (`EOP`)
-//! with the next segment's entry offset. The result is bit-exact
-//! sequential Huffman decoding at 64-way parallelism.
+//! possible entry offset 0..=7; the surviving path is then resolved by
+//! chaining each segment's end-of-parse offset (`EOP`) into the next
+//! segment's entry offset. The result is bit-exact sequential Huffman
+//! decoding at 64-way parallelism.
+//!
+//! # Implementation: LUT probes + EOP chaining
+//!
+//! The seed implementation modelled the hardware literally: it built a
+//! fresh `BitReader` per decoded symbol, kept a `Vec<(u16, usize)>` per
+//! speculative path, and merged paths through a 6-stage binary tree that
+//! **cloned every symbol vector at every tree node** — O(n log n) copies
+//! and thousands of allocations per block. This rewrite keeps the same
+//! externally-observable algorithm (same speculative work counts, same
+//! bit-exact output) in three allocation-free passes:
+//!
+//! 1. **Sub-decode.** One [`ecco_bits::BlockCursor`] views the block as
+//!    big-endian words; each of the 64×8 sub-decoders extracts its 15-bit
+//!    window with two shifts and resolves it with **one probe** of the
+//!    codebook's [`SegmentLut`] (a `2^15`-entry table mapping a window to
+//!    its packed chain of up to four `(symbol, end)` pairs — layout in
+//!    [`ecco_entropy::lut`]). The chain is truncated to the entry offset's
+//!    bit budget by index math only, yielding a fixed-size [`SegRecord`]
+//!    (symbols inline, no heap) in a stack table of 64×8 records.
+//!
+//! 2. **EOP chaining.** The concatenation tree's fixed point is computed
+//!    directly: starting from the entry offset of `start_bit`, each
+//!    segment's surviving record names the next segment's entry offset via
+//!    its `eop` field, so one O(segments) walk selects the surviving
+//!    record per segment. (The tree is still *accounted* — `merge_stages`
+//!    and `sub_decoder_ops` report the hardware's work, unchanged.)
+//!
+//! 3. **Gather.** The walk appends each surviving record's symbols into a
+//!    caller-provided buffer ([`ParallelDecoder::decode_into`]) — a single
+//!    pass, no intermediate vectors.
+//!
+//! The seed implementation is preserved verbatim in [`seed_port`] so the
+//! benches can measure the rewrite against it on identical inputs.
 
-use ecco_bits::{Block64, BLOCK_BITS};
+use ecco_bits::{Block64, BlockCursor, BLOCK_BITS};
 use ecco_core::block::DecodeError;
 use ecco_core::{TensorMetadata, SCALE_SYMBOL};
+use ecco_entropy::lut::{ChainEntry, SegmentLut, MAX_CHAIN, WINDOW_BITS as LUT_WINDOW_BITS};
 use ecco_entropy::Codebook;
 use ecco_numerics::F8E4M3;
 
@@ -25,19 +62,78 @@ pub const SUB_DECODERS: usize = 8;
 /// Window bits each sub-decoder sees (8 own + 7 overlap).
 pub const WINDOW_BITS: usize = 15;
 
-/// One speculative decode path through a run of segments.
-#[derive(Clone, Debug, Default)]
-struct Path {
-    /// Decoded symbols with the bit position just after each code.
-    symbols: Vec<(u16, usize)>,
-    /// Entry offset into the segment after the run (0..=7).
-    eop: usize,
-    /// The path hit the end of the block (or an invalid code) and cannot
-    /// continue.
+/// One resolved sub-decoder outcome: the codes that *start* inside the
+/// segment when entered at a given offset. Fixed-size — lives in a stack
+/// table, never on the heap.
+#[derive(Clone, Copy, Debug, Default)]
+struct SegRecord {
+    /// Decoded symbols, in stream order.
+    syms: [u16; MAX_CHAIN],
+    /// Window-relative end bit of each code (window starts at the entry
+    /// offset, so absolute end = `seg*8 + offset + ends[i]`).
+    ends: [u8; MAX_CHAIN],
+    /// Number of codes decoded (1..=4 unless terminated).
+    count: u8,
+    /// Entry offset into the next segment (valid iff not terminated).
+    eop: u8,
+    /// Parse cannot continue (invalid prefix or past end of block).
     terminated: bool,
 }
 
-/// Result of a parallel decode.
+impl SegRecord {
+    /// Truncates a window's LUT chain to this entry offset's bit budget
+    /// and checks the end-of-block constraint — pure index math.
+    #[inline]
+    fn from_chain(entry: ChainEntry, seg: usize, offset: usize) -> SegRecord {
+        let budget = SEGMENT_BITS - offset;
+        let base = seg * SEGMENT_BITS + offset;
+        let mut rec = SegRecord::default();
+        let mut n = 0usize;
+        for i in 0..entry.count() {
+            if entry.start(i) >= budget {
+                // This code starts in the next segment's own bits.
+                break;
+            }
+            let end = entry.end(i);
+            if base + end > BLOCK_BITS {
+                rec.terminated = true;
+                break;
+            }
+            rec.syms[n] = entry.sym(i);
+            rec.ends[n] = end as u8;
+            n += 1;
+        }
+        rec.count = n as u8;
+        if !rec.terminated {
+            if entry.bad() && entry.bad_pos() < budget {
+                rec.terminated = true;
+            } else if n > 0 {
+                // Chain stopped because the next start left the segment:
+                // offset + end >= 8, and <= 15, so eop is in 0..=7.
+                rec.eop = (offset + rec.ends[n - 1] as usize - SEGMENT_BITS) as u8;
+            } else {
+                // Unreachable for 2..=8-bit codes (start 0 < budget always),
+                // but keep the parse well-defined.
+                rec.terminated = true;
+            }
+        }
+        rec
+    }
+}
+
+/// Work/latency accounting for one parallel decode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DecodeStats {
+    /// Bit position just after the last decoded symbol.
+    pub end_bit: usize,
+    /// Concatenation-tree stages the hardware would execute.
+    pub merge_stages: usize,
+    /// Sub-decoder invocations (64 segments × 8 offsets when fully used).
+    pub sub_decoder_ops: usize,
+}
+
+/// Result of a parallel decode (symbol buffer included, for callers that
+/// do not manage their own).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ParallelDecodeResult {
     /// The decoded symbol stream (up to the requested count).
@@ -51,27 +147,93 @@ pub struct ParallelDecodeResult {
 }
 
 /// The parallel decoder bound to one Huffman codebook.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct ParallelDecoder<'a> {
-    book: &'a Codebook,
+    lut: &'a SegmentLut,
 }
 
 impl<'a> ParallelDecoder<'a> {
-    /// Creates a decoder for `book`.
+    /// Creates a decoder for `book`, building (or reusing) the book's
+    /// sub-decoder chain table.
     ///
     /// # Panics
     ///
     /// Panics if the book's longest code exceeds 8 bits — the hardware's
-    /// 15-bit windows require the 2..=8-bit constraint.
+    /// 15-bit windows require the 2..=8-bit constraint (the table build
+    /// also rejects codes shorter than 2 bits).
     pub fn new(book: &'a Codebook) -> ParallelDecoder<'a> {
         assert!(
             book.max_len() <= SEGMENT_BITS as u8,
             "parallel decoding requires codes of at most 8 bits"
         );
-        ParallelDecoder { book }
+        ParallelDecoder {
+            lut: book.segment_lut(),
+        }
+    }
+
+    /// Decodes up to `max_symbols` codes starting at `start_bit`,
+    /// appending them to `out` (which is cleared first). Zero heap
+    /// allocations beyond `out`'s one-time capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start_bit` is outside the block.
+    pub fn decode_into(
+        &self,
+        block: &Block64,
+        start_bit: usize,
+        max_symbols: usize,
+        out: &mut Vec<u16>,
+    ) -> DecodeStats {
+        assert!(start_bit < BLOCK_BITS, "start bit outside block");
+        out.clear();
+        let first_seg = start_bit / SEGMENT_BITS;
+        let entry_offset = start_bit % SEGMENT_BITS;
+        let segments = NUM_SEGMENTS - first_seg;
+
+        // Pass 1: speculative sub-decoders — 8 fixed-size records per
+        // segment, each one window extraction + one LUT probe.
+        let cursor = BlockCursor::new(block);
+        let mut records = [[SegRecord::default(); SUB_DECODERS]; NUM_SEGMENTS];
+        for (seg, row) in records.iter_mut().enumerate().skip(first_seg) {
+            let seg_bit = seg * SEGMENT_BITS;
+            for (offset, rec) in row.iter_mut().enumerate() {
+                let window = cursor.window(seg_bit + offset, LUT_WINDOW_BITS);
+                *rec = SegRecord::from_chain(self.lut.entry(window), seg, offset);
+            }
+        }
+
+        // Pass 2+3: EOP chaining resolves the surviving record per
+        // segment; gather its symbols as we go.
+        let mut end_bit = start_bit;
+        let mut offset = entry_offset;
+        'walk: for (seg, row) in records.iter().enumerate().skip(first_seg) {
+            let rec = &row[offset];
+            let base = seg * SEGMENT_BITS + offset;
+            for i in 0..rec.count as usize {
+                if out.len() == max_symbols {
+                    break 'walk;
+                }
+                out.push(rec.syms[i]);
+                end_bit = base + rec.ends[i] as usize;
+            }
+            if rec.terminated {
+                break;
+            }
+            offset = rec.eop as usize;
+        }
+
+        DecodeStats {
+            end_bit,
+            merge_stages: ceil_log2(segments),
+            sub_decoder_ops: segments * SUB_DECODERS,
+        }
     }
 
     /// Decodes up to `max_symbols` codes starting at `start_bit`.
+    ///
+    /// Convenience wrapper over [`ParallelDecoder::decode_into`] that
+    /// allocates the symbol buffer.
     ///
     /// # Panics
     ///
@@ -82,22 +244,200 @@ impl<'a> ParallelDecoder<'a> {
         start_bit: usize,
         max_symbols: usize,
     ) -> ParallelDecodeResult {
+        let mut symbols = Vec::with_capacity(max_symbols);
+        let stats = self.decode_into(block, start_bit, max_symbols, &mut symbols);
+        ParallelDecodeResult {
+            symbols,
+            end_bit: stats.end_bit,
+            merge_stages: stats.merge_stages,
+            sub_decoder_ops: stats.sub_decoder_ops,
+        }
+    }
+}
+
+/// Stages of a binary reduction over `n` items.
+fn ceil_log2(n: usize) -> usize {
+    if n <= 1 {
+        0
+    } else {
+        (usize::BITS - (n - 1).leading_zeros()) as usize
+    }
+}
+
+/// Reusable buffers for repeated block decodes — lets a pipeline decode an
+/// entire tensor without per-block allocation.
+#[derive(Debug, Default)]
+pub struct DecodeScratch {
+    symbols: Vec<u16>,
+}
+
+/// Full block decompression through the parallel decoder: header parse,
+/// parallel symbol decode, centroid mapping and outlier application —
+/// the functional twin of [`ecco_core::decode_group`], used to prove the
+/// hardware algorithm equivalent to the reference decoder.
+///
+/// # Errors
+///
+/// Returns the same [`DecodeError`]s as the reference decoder.
+pub fn decode_block_parallel(
+    block: &Block64,
+    meta: &TensorMetadata,
+) -> Result<(Vec<f32>, ParallelDecodeResult), DecodeError> {
+    let mut scratch = DecodeScratch::default();
+    let mut values = Vec::with_capacity(meta.group_size);
+    let stats = decode_block_parallel_into(block, meta, &mut scratch, &mut values)?;
+    Ok((
+        values,
+        ParallelDecodeResult {
+            symbols: std::mem::take(&mut scratch.symbols),
+            end_bit: stats.end_bit,
+            merge_stages: stats.merge_stages,
+            sub_decoder_ops: stats.sub_decoder_ops,
+        },
+    ))
+}
+
+/// Allocation-free variant of [`decode_block_parallel`]: symbols land in
+/// `scratch`, reconstructed values in `values` (cleared, then filled to
+/// `meta.group_size`). Reusing both across calls keeps a tensor-sized
+/// decode loop at zero steady-state allocations.
+///
+/// # Errors
+///
+/// Returns the same [`DecodeError`]s as the reference decoder.
+pub fn decode_block_parallel_into(
+    block: &Block64,
+    meta: &TensorMetadata,
+    scratch: &mut DecodeScratch,
+    values: &mut Vec<f32>,
+) -> Result<DecodeStats, DecodeError> {
+    values.clear();
+    let header = ecco_core::block::parse_block_header(block, meta)?;
+    let sf = F8E4M3::from_bits(header.sf_bits);
+    let scale_signed = ecco_numerics::round_f16(meta.tensor_scale.expand(sf.to_f32()));
+    let scale_mag = scale_signed.abs();
+    let pattern = &meta.patterns[header.kp];
+
+    let decoder = ParallelDecoder::new(&meta.books[header.kp][header.book_id]);
+    let stats = decoder.decode_into(
+        block,
+        header.data_start,
+        meta.group_size,
+        &mut scratch.symbols,
+    );
+
+    // Data mapper (128 parallel lanes in hardware).
+    let zero_centroid = pattern.centroids()[pattern.zero_symbol() as usize];
+    values.extend(scratch.symbols.iter().map(|&s| {
+        if s == SCALE_SYMBOL {
+            scale_signed
+        } else {
+            ecco_numerics::round_f16(pattern.centroids()[s as usize] * scale_mag)
+        }
+    }));
+    for _ in values.len()..meta.group_size {
+        values.push(ecco_numerics::round_f16(zero_centroid * scale_mag));
+    }
+
+    if scratch.symbols.len() == meta.group_size {
+        let n_out = (BLOCK_BITS - stats.end_bit) / 15;
+        let mut or = block.reader();
+        or.seek(stats.end_bit);
+        for _ in 0..n_out {
+            let pos = or.read_bits(7).expect("outlier fits") as usize;
+            let f8 = F8E4M3::from_bits(or.read_bits(8).expect("outlier fits") as u8);
+            if pos < meta.group_size && !f8.is_nan() {
+                values[pos] = ecco_numerics::round_f16(meta.tensor_scale.expand(f8.to_f32()));
+            }
+        }
+    }
+    Ok(stats)
+}
+
+/// Decodes a whole tensor's worth of blocks through the hardware parallel
+/// decoder model across a thread pool — the rebgzf-style multi-block
+/// pipeline, hardware-model flavour. Blocks are sharded one contiguous
+/// run per worker; each worker reuses one [`DecodeScratch`], so the
+/// steady state allocates nothing per block. Output is bit-identical to
+/// decoding each block with [`decode_block_parallel`] in order (and hence
+/// to `ecco_core::decode_groups_parallel`).
+///
+/// # Errors
+///
+/// Returns the first [`DecodeError`] in block order.
+pub fn decode_blocks_parallel(
+    blocks: &[Block64],
+    meta: &TensorMetadata,
+) -> Result<Vec<f32>, DecodeError> {
+    use rayon::prelude::*;
+    let gs = meta.group_size;
+    let shard = ecco_core::parallel::shard_groups(blocks.len());
+    let parts: Vec<Result<Vec<f32>, DecodeError>> = blocks
+        .par_chunks(shard)
+        .map(|run| {
+            let mut scratch = DecodeScratch::default();
+            let mut values = Vec::with_capacity(gs);
+            let mut out = Vec::with_capacity(run.len() * gs);
+            for b in run {
+                decode_block_parallel_into(b, meta, &mut scratch, &mut values)?;
+                out.extend_from_slice(&values);
+            }
+            Ok(out)
+        })
+        .collect();
+    let mut out = Vec::with_capacity(blocks.len() * gs);
+    for p in parts {
+        out.extend(p?);
+    }
+    Ok(out)
+}
+
+/// The seed implementation of the speculative decoder, preserved
+/// bit-for-bit as the baseline the `parallel_decoder` /
+/// `codec_throughput` benches measure the LUT rewrite against. It builds
+/// a `BitReader` per decoded symbol and merges `Vec`-backed paths through
+/// an explicit binary concatenation tree — the allocation behaviour this
+/// PR removed. Do not use outside benchmarks and differential tests.
+pub mod seed_port {
+    use super::{ParallelDecodeResult, NUM_SEGMENTS, SEGMENT_BITS, SUB_DECODERS};
+    use ecco_bits::{Block64, BLOCK_BITS};
+    use ecco_entropy::Codebook;
+
+    #[derive(Clone, Debug, Default)]
+    struct Path {
+        symbols: Vec<(u16, usize)>,
+        eop: usize,
+        terminated: bool,
+    }
+
+    /// Decodes up to `max_symbols` codes starting at `start_bit`, exactly
+    /// as the seed's `ParallelDecoder::decode` did.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start_bit` is outside the block or the book has codes
+    /// wider than 8 bits.
+    pub fn decode(
+        book: &Codebook,
+        block: &Block64,
+        start_bit: usize,
+        max_symbols: usize,
+    ) -> ParallelDecodeResult {
         assert!(start_bit < BLOCK_BITS, "start bit outside block");
+        assert!(book.max_len() <= SEGMENT_BITS as u8);
         let first_seg = start_bit / SEGMENT_BITS;
         let entry_offset = start_bit % SEGMENT_BITS;
 
-        // Stage 1: speculative sub-decoders — 8 paths per segment.
         let mut sub_decoder_ops = 0usize;
         let mut runs: Vec<[Path; SUB_DECODERS]> = (first_seg..NUM_SEGMENTS)
             .map(|seg| {
                 core::array::from_fn(|offset| {
                     sub_decoder_ops += 1;
-                    self.decode_segment(block, seg, offset)
+                    decode_segment(book, block, seg, offset)
                 })
             })
             .collect();
 
-        // Stages 2..: binary concatenation tree. Odd tails pass through.
         let mut merge_stages = 0usize;
         while runs.len() > 1 {
             merge_stages += 1;
@@ -128,10 +468,7 @@ impl<'a> ParallelDecoder<'a> {
         }
     }
 
-    /// One sub-decoder: decodes codes starting at `seg×8 + offset` while
-    /// code *starts* stay inside the segment's own 8 bits. Codes may spill
-    /// into the 7-bit overlap window.
-    fn decode_segment(&self, block: &Block64, seg: usize, offset: usize) -> Path {
+    fn decode_segment(book: &Codebook, block: &Block64, seg: usize, offset: usize) -> Path {
         let seg_start = seg * SEGMENT_BITS;
         let seg_end = seg_start + SEGMENT_BITS;
         let mut pos = seg_start + offset;
@@ -140,8 +477,8 @@ impl<'a> ParallelDecoder<'a> {
         while pos < seg_end {
             let mut r = ecco_bits::BitReader::with_limit(bytes, BLOCK_BITS);
             r.seek(pos);
-            let window = r.peek_bits_padded(self.book.max_len() as u32);
-            match self.book.decode_window(window) {
+            let window = r.peek_bits_padded(book.max_len() as u32);
+            match book.decode_window(window) {
                 Some((sym, len)) if pos + len as usize <= BLOCK_BITS => {
                     pos += len as usize;
                     path.symbols.push((sym, pos));
@@ -155,103 +492,32 @@ impl<'a> ParallelDecoder<'a> {
         path.eop = pos - seg_end;
         path
     }
-}
 
-/// Chains every entry path of `left` with the matching entry path of
-/// `right` (one tree node of the data concatenator).
-fn merge_runs(left: [Path; SUB_DECODERS], right: &[Path; SUB_DECODERS]) -> [Path; SUB_DECODERS] {
-    core::array::from_fn(|o| {
-        let l = &left[o];
-        if l.terminated {
-            return l.clone();
-        }
-        let r = &right[l.eop];
-        let mut symbols = l.symbols.clone();
-        symbols.extend_from_slice(&r.symbols);
-        Path {
-            symbols,
-            eop: r.eop,
-            terminated: r.terminated,
-        }
-    })
-}
-
-/// Full block decompression through the parallel decoder: header parse,
-/// parallel symbol decode, centroid mapping and outlier application —
-/// the functional twin of [`ecco_core::decode_group`], used to prove the
-/// hardware algorithm equivalent to the reference decoder.
-///
-/// # Errors
-///
-/// Returns the same [`DecodeError`]s as the reference decoder.
-pub fn decode_block_parallel(
-    block: &Block64,
-    meta: &TensorMetadata,
-) -> Result<(Vec<f32>, ParallelDecodeResult), DecodeError> {
-    let mut r = block.reader();
-    let book_id = if meta.id_hf_bits > 0 {
-        r.read_bits(meta.id_hf_bits).expect("header fits") as usize
-    } else {
-        0
-    };
-    let sf_bits = r.read_bits(8).expect("header fits") as u8;
-    let kp = meta
-        .pattern_code
-        .decode_symbol(&mut r)
-        .ok_or(DecodeError::BadPatternId)? as usize;
-    if kp >= meta.patterns.len() {
-        return Err(DecodeError::BadPatternId);
-    }
-    let books = &meta.books[kp];
-    if book_id >= books.len() {
-        return Err(DecodeError::BadBookId);
-    }
-    let sf = F8E4M3::from_bits(sf_bits);
-    if sf.is_nan() {
-        return Err(DecodeError::BadScaleFactor);
-    }
-    let scale_signed = ecco_numerics::round_f16(meta.tensor_scale.expand(sf.to_f32()));
-    let scale_mag = scale_signed.abs();
-    let pattern = &meta.patterns[kp];
-
-    let decoder = ParallelDecoder::new(&books[book_id]);
-    let result = decoder.decode(block, r.bit_pos(), meta.group_size);
-
-    // Data mapper (128 parallel lanes in hardware).
-    let zero_centroid = pattern.centroids()[pattern.zero_symbol() as usize];
-    let mut values: Vec<f32> = result
-        .symbols
-        .iter()
-        .map(|&s| {
-            if s == SCALE_SYMBOL {
-                scale_signed
-            } else {
-                ecco_numerics::round_f16(pattern.centroids()[s as usize] * scale_mag)
+    fn merge_runs(
+        left: [Path; SUB_DECODERS],
+        right: &[Path; SUB_DECODERS],
+    ) -> [Path; SUB_DECODERS] {
+        core::array::from_fn(|o| {
+            let l = &left[o];
+            if l.terminated {
+                return l.clone();
+            }
+            let r = &right[l.eop];
+            let mut symbols = l.symbols.clone();
+            symbols.extend_from_slice(&r.symbols);
+            Path {
+                symbols,
+                eop: r.eop,
+                terminated: r.terminated,
             }
         })
-        .collect();
-    for _ in values.len()..meta.group_size {
-        values.push(ecco_numerics::round_f16(zero_centroid * scale_mag));
     }
-
-    if result.symbols.len() == meta.group_size {
-        let n_out = (BLOCK_BITS - result.end_bit) / 15;
-        let mut or = block.reader();
-        or.seek(result.end_bit);
-        for _ in 0..n_out {
-            let pos = or.read_bits(7).expect("outlier fits") as usize;
-            let f8 = F8E4M3::from_bits(or.read_bits(8).expect("outlier fits") as u8);
-            if pos < meta.group_size && !f8.is_nan() {
-                values[pos] = ecco_numerics::round_f16(meta.tensor_scale.expand(f8.to_f32()));
-            }
-        }
-    }
-    Ok((values, result))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ecco_bits::BitWriter;
     use ecco_core::{encode_group, EccoConfig, PatternSelector};
     use ecco_tensor::{synth::SynthSpec, Tensor, TensorKind};
     use proptest::prelude::*;
@@ -268,7 +534,9 @@ mod tests {
 
     #[test]
     fn equivalent_to_sequential_decoder() {
-        let t = SynthSpec::for_kind(TensorKind::Weight, 16, 512).seeded(101).generate();
+        let t = SynthSpec::for_kind(TensorKind::Weight, 16, 512)
+            .seeded(101)
+            .generate();
         let meta = meta_for(&t);
         for g in t.groups(128) {
             let (block, _) = encode_group(g, &meta, PatternSelector::MseOptimal);
@@ -281,7 +549,9 @@ mod tests {
     #[test]
     fn equivalent_on_clipped_blocks() {
         // Force clipping with deliberately mismatched 4-bit-uniform books.
-        let t = SynthSpec::for_kind(TensorKind::Weight, 8, 512).seeded(102).generate();
+        let t = SynthSpec::for_kind(TensorKind::Weight, 8, 512)
+            .seeded(102)
+            .generate();
         let mut meta = meta_for(&t);
         let uniform = Codebook::from_frequencies(&[1u64; 16], 4, 4).unwrap();
         for row in &mut meta.books {
@@ -303,7 +573,9 @@ mod tests {
 
     #[test]
     fn six_merge_stages_for_full_block() {
-        let t = SynthSpec::for_kind(TensorKind::Weight, 8, 512).seeded(103).generate();
+        let t = SynthSpec::for_kind(TensorKind::Weight, 8, 512)
+            .seeded(103)
+            .generate();
         let meta = meta_for(&t);
         let g = t.groups(128).next().unwrap();
         let (block, _) = encode_group(g, &meta, PatternSelector::MseOptimal);
@@ -324,6 +596,69 @@ mod tests {
         }
     }
 
+    #[test]
+    fn batch_pipeline_matches_per_block_decode() {
+        let t = SynthSpec::for_kind(TensorKind::Weight, 16, 512)
+            .seeded(105)
+            .generate();
+        let meta = meta_for(&t);
+        let blocks: Vec<Block64> = t
+            .groups(128)
+            .map(|g| encode_group(g, &meta, PatternSelector::MseOptimal).0)
+            .collect();
+        let batched = decode_blocks_parallel(&blocks, &meta).unwrap();
+        let mut reference = Vec::new();
+        for b in &blocks {
+            reference.extend(decode_block_parallel(b, &meta).unwrap().0);
+        }
+        assert_eq!(batched, reference);
+        assert_eq!(
+            batched,
+            ecco_core::decode_groups_parallel(&blocks, &meta).unwrap()
+        );
+    }
+
+    #[test]
+    fn decode_into_reuses_buffers() {
+        let t = SynthSpec::for_kind(TensorKind::Weight, 8, 512)
+            .seeded(104)
+            .generate();
+        let meta = meta_for(&t);
+        let mut scratch = DecodeScratch::default();
+        let mut values = Vec::new();
+        for g in t.groups(128) {
+            let (block, _) = encode_group(g, &meta, PatternSelector::MseOptimal);
+            let (seq, _) = ecco_core::decode_group(&block, &meta).unwrap();
+            decode_block_parallel_into(&block, &meta, &mut scratch, &mut values).unwrap();
+            assert_eq!(seq, values);
+        }
+    }
+
+    /// Sequential reference decode over raw symbol streams: the plain
+    /// `decode_symbol` loop the parallel decoder must be bit-exact with.
+    fn sequential_symbols(
+        book: &Codebook,
+        block: &Block64,
+        start_bit: usize,
+        max_symbols: usize,
+    ) -> (Vec<u16>, usize) {
+        let mut r = block.reader();
+        r.seek(start_bit);
+        let mut out = Vec::new();
+        while out.len() < max_symbols {
+            match book.decode_symbol(&mut r) {
+                Some(s) => out.push(s),
+                None => break,
+            }
+        }
+        let end = if out.is_empty() {
+            start_bit
+        } else {
+            r.bit_pos()
+        };
+        (out, end)
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(24))]
         #[test]
@@ -336,6 +671,65 @@ mod tests {
                 let (par, _) = decode_block_parallel(&block, &meta).unwrap();
                 prop_assert_eq!(seq, par);
             }
+        }
+
+        /// Differential fuzz: random 2..=8-bit codebooks × random raw
+        /// blocks × random start bits. The LUT decoder, the seed-port
+        /// decoder and the sequential reference must agree symbol-for-
+        /// symbol — including on garbage windows that terminate early.
+        #[test]
+        fn lut_decoder_matches_sequential_on_fuzzed_books(
+            freqs in prop::collection::vec(0u64..5000, 2..=16),
+            bytes in prop::collection::vec(any::<u8>(), 64),
+            start in 0usize..64,
+            max in 1usize..160,
+        ) {
+            let book = Codebook::from_frequencies(&freqs, 2, 8).unwrap();
+            prop_assert!(book.lengths().iter().all(|&l| (2..=8).contains(&l)));
+            let mut raw = [0u8; 64];
+            raw.copy_from_slice(&bytes);
+            let block = Block64::from_bytes(raw);
+
+            let (want, want_end) = sequential_symbols(&book, &block, start, max);
+            let decoder = ParallelDecoder::new(&book);
+            let got = decoder.decode(&block, start, max);
+            prop_assert_eq!(&got.symbols, &want, "LUT decoder diverged");
+            prop_assert_eq!(got.end_bit, want_end);
+
+            let seed = seed_port::decode(&book, &block, start, max);
+            prop_assert_eq!(&seed.symbols, &want, "seed port diverged");
+            prop_assert_eq!(seed.end_bit, want_end);
+            prop_assert_eq!(seed.merge_stages, got.merge_stages);
+            prop_assert_eq!(seed.sub_decoder_ops, got.sub_decoder_ops);
+        }
+
+        /// Valid encoded streams (not just garbage): encode random symbols
+        /// with a fuzzed book, then require exact recovery through the
+        /// parallel path from bit 0.
+        #[test]
+        fn lut_decoder_roundtrips_encoded_streams(
+            freqs in prop::collection::vec(0u64..5000, 2..=16),
+            syms in prop::collection::vec(0u16..16, 1..=128),
+        ) {
+            let book = Codebook::from_frequencies(&freqs, 2, 8).unwrap();
+            let n = book.num_symbols() as u16;
+            let symbols: Vec<u16> = syms.iter().map(|&s| s % n).collect();
+            let mut w = BitWriter::new();
+            let mut fits = 0usize;
+            for &s in &symbols {
+                if w.bit_len() + book.code_len(s) as usize > BLOCK_BITS {
+                    break;
+                }
+                book.encode_symbol(&mut w, s);
+                fits += 1;
+            }
+            let block = Block64::from_writer(w).expect("within 512 bits");
+            let decoder = ParallelDecoder::new(&book);
+            let got = decoder.decode(&block, 0, fits);
+            prop_assert_eq!(&got.symbols[..], &symbols[..fits]);
+            let (want, want_end) = sequential_symbols(&book, &block, 0, fits);
+            prop_assert_eq!(&got.symbols, &want);
+            prop_assert_eq!(got.end_bit, want_end);
         }
     }
 }

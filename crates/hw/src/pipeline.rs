@@ -71,7 +71,6 @@ impl Default for PipelineSpec {
     }
 }
 
-
 /// Discrete-cycle simulation of the decompressor bank serving a stream
 /// of compressed blocks.
 ///
@@ -133,7 +132,8 @@ impl StreamSim {
         let mut latency_sum = 0u64;
         let mut peak_queue = 0usize;
         // Completion times of in-flight blocks, per issue cycle batch.
-        let mut inflight: std::collections::VecDeque<(u64, u64)> = std::collections::VecDeque::new();
+        let mut inflight: std::collections::VecDeque<(u64, u64)> =
+            std::collections::VecDeque::new();
         let mut cycle = 0u64;
         let mut arrival_credit = 0f64;
         while completed < blocks {
@@ -223,7 +223,11 @@ mod tests {
         // Offered 40 blocks/cycle against 20 replicas: throughput caps at
         // 20 and the queue grows.
         let s = sim.run(20_000, 40.0);
-        assert!((s.throughput() - 20.0).abs() < 1.0, "throughput {}", s.throughput());
+        assert!(
+            (s.throughput() - 20.0).abs() < 1.0,
+            "throughput {}",
+            s.throughput()
+        );
         assert!(s.peak_queue > 1_000, "queue must back up: {}", s.peak_queue);
         assert!(
             s.mean_latency > 100.0,

@@ -218,11 +218,7 @@ fn plus_plus_init_scalar(points: &[f32], w: &[f32], k: usize, rng: &mut StdRng) 
         .map(|&p| ((p - centroids[0]) as f64).powi(2))
         .collect();
     while centroids.len() < k {
-        let scores: Vec<f64> = d2
-            .iter()
-            .zip(w)
-            .map(|(&d, &wi)| d * wi as f64)
-            .collect();
+        let scores: Vec<f64> = d2.iter().zip(w).map(|(&d, &wi)| d * wi as f64).collect();
         let total: f64 = scores.iter().sum();
         let idx = if total > 0.0 {
             weighted_pick_f64(&scores, total, rng)
@@ -317,10 +313,7 @@ pub fn fit_vectors(points: &[Vec<f32>], cfg: &KmeansConfig) -> VectorFit {
                 centroids[c] = far.clone();
             }
         }
-        let inertia: f64 = points
-            .iter()
-            .map(|p| nearest_vec(&centroids, p).1)
-            .sum();
+        let inertia: f64 = points.iter().map(|p| nearest_vec(&centroids, p).1).sum();
         let converged =
             last_inertia.is_finite() && last_inertia - inertia <= cfg.tol * last_inertia.abs();
         last_inertia = inertia;
@@ -403,7 +396,11 @@ mod tests {
         let pts = [0.0f32, 1.0];
         let w = [99.0f32, 1.0];
         let fit = fit_scalar(&pts, Some(&w), &KmeansConfig::with_k(1));
-        assert!((fit.centroids[0] - 0.01).abs() < 1e-4, "{:?}", fit.centroids);
+        assert!(
+            (fit.centroids[0] - 0.01).abs() < 1e-4,
+            "{:?}",
+            fit.centroids
+        );
     }
 
     #[test]

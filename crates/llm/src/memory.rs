@@ -63,14 +63,17 @@ mod tests {
     fn fp16_llama7b_matches_paper_numbers() {
         // Introduction: KV cache 34.4 GB of 47.3 GB total for LLaMA-7B,
         // batch 32, seq 2048.
-        let f = footprint(
-            &ModelSpec::llama_7b(),
-            &ExecScheme::fp16_trt(),
-            32,
-            2048,
+        let f = footprint(&ModelSpec::llama_7b(), &ExecScheme::fp16_trt(), 32, 2048);
+        assert!(
+            (f.kv_cache / 1e9 - 34.4).abs() < 0.5,
+            "kv {} GB",
+            f.kv_cache / 1e9
         );
-        assert!((f.kv_cache / 1e9 - 34.4).abs() < 0.5, "kv {} GB", f.kv_cache / 1e9);
-        assert!((f.total_gb() - 47.3).abs() < 1.5, "total {} GB", f.total_gb());
+        assert!(
+            (f.total_gb() - 47.3).abs() < 1.5,
+            "total {} GB",
+            f.total_gb()
+        );
     }
 
     #[test]

@@ -104,7 +104,10 @@ impl PrefillWorkload {
     ///
     /// Panics if `batch` or `prompt_len` is zero.
     pub fn new(model: ModelSpec, batch: usize, prompt_len: usize) -> PrefillWorkload {
-        assert!(batch > 0 && prompt_len > 0, "batch and prompt must be positive");
+        assert!(
+            batch > 0 && prompt_len > 0,
+            "batch and prompt must be positive"
+        );
         PrefillWorkload {
             model,
             batch,

@@ -209,8 +209,8 @@ mod tests {
         assert_eq!(F16::from_f32(1.0).to_bits(), 0x3C00);
         assert_eq!(F16::from_f32(-2.0).to_bits(), 0xC000);
         assert_eq!(F16::from_f32(65504.0).to_bits(), 0x7BFF);
-        assert_eq!(F16::from_f32(6.103515625e-5).to_bits(), 0x0400); // min normal
-        assert_eq!(F16::from_f32(5.960464477539063e-8).to_bits(), 0x0001); // min subnormal
+        assert_eq!(F16::from_f32(6.103_515_6e-5).to_bits(), 0x0400); // min normal
+        assert_eq!(F16::from_f32(5.960_464_5e-8).to_bits(), 0x0001); // min subnormal
     }
 
     #[test]

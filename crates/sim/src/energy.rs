@@ -55,12 +55,7 @@ impl EnergyModel {
     }
 
     /// Dynamic + static energy of a whole decode step, in joules.
-    pub fn step_energy(
-        &self,
-        engine: &SimEngine,
-        kernels: &[Kernel],
-        scheme: &ExecScheme,
-    ) -> f64 {
+    pub fn step_energy(&self, engine: &SimEngine, kernels: &[Kernel], scheme: &ExecScheme) -> f64 {
         kernels
             .iter()
             .map(|k| self.kernel_energy(engine, k, scheme))
@@ -101,15 +96,27 @@ mod tests {
         let kt = engine.kernel_time(&k, &ExecScheme::ecco());
         let decomp_j = em.decompressor_w * kt.total;
         let total = em.kernel_energy(&engine, &k, &ExecScheme::ecco());
-        assert!(decomp_j / total < 0.12, "decompressor share {}", decomp_j / total);
+        assert!(
+            decomp_j / total < 0.12,
+            "decompressor share {}",
+            decomp_j / total
+        );
     }
 
     #[test]
     fn energy_scales_with_traffic() {
         let engine = SimEngine::new(GpuSpec::a100());
         let em = EnergyModel::a100();
-        let small = em.kernel_energy(&engine, &Kernel::gemm(1, 4096, 4096), &ExecScheme::fp16_trt());
-        let big = em.kernel_energy(&engine, &Kernel::gemm(1, 8192, 4096), &ExecScheme::fp16_trt());
+        let small = em.kernel_energy(
+            &engine,
+            &Kernel::gemm(1, 4096, 4096),
+            &ExecScheme::fp16_trt(),
+        );
+        let big = em.kernel_energy(
+            &engine,
+            &Kernel::gemm(1, 8192, 4096),
+            &ExecScheme::fp16_trt(),
+        );
         assert!(big > small * 1.8, "{big} vs {small}");
     }
 }

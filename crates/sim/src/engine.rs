@@ -181,9 +181,7 @@ mod tests {
         let k = fig13_gemm();
         let mut last = 0.0;
         for frac in [1.0, 0.8, 0.6, 0.4, 0.2, 0.1] {
-            let s = ExecScheme::ecco_with(
-                DecompressorModel::shipped().with_throughput_frac(frac),
-            );
+            let s = ExecScheme::ecco_with(DecompressorModel::shipped().with_throughput_frac(frac));
             let t = e.kernel_time(&k, &s).total;
             assert!(t >= last, "time must grow as throughput shrinks");
             last = t;
@@ -195,14 +193,23 @@ mod tests {
         let e = engine();
         let k = fig13_gemm();
         let t0 = e
-            .kernel_time(&k, &ExecScheme::ecco_with(DecompressorModel::shipped().with_latency_cycles(0)))
+            .kernel_time(
+                &k,
+                &ExecScheme::ecco_with(DecompressorModel::shipped().with_latency_cycles(0)),
+            )
             .total;
         let t300 = e
-            .kernel_time(&k, &ExecScheme::ecco_with(DecompressorModel::shipped().with_latency_cycles(300)))
+            .kernel_time(
+                &k,
+                &ExecScheme::ecco_with(DecompressorModel::shipped().with_latency_cycles(300)),
+            )
             .total;
         let added = t300 - t0;
         let expect = 300.0 * 34.0 * e.gpu().cycle_s();
-        assert!((added - expect).abs() / expect < 1e-6, "added {added} expect {expect}");
+        assert!(
+            (added - expect).abs() / expect < 1e-6,
+            "added {added} expect {expect}"
+        );
     }
 
     #[test]

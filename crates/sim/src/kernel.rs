@@ -227,7 +227,10 @@ mod tests {
         };
         let s = ExecScheme::fp16_trt();
         let r = mha.traffic(&s).hbm_bytes / gqa.traffic(&s).hbm_bytes;
-        assert!(r > 3.5 && r < 4.5, "GQA 4x fewer KV heads -> ~4x less traffic, got {r}");
+        assert!(
+            r > 3.5 && r < 4.5,
+            "GQA 4x fewer KV heads -> ~4x less traffic, got {r}"
+        );
         // Compute is unchanged: same query heads.
         assert_eq!(mha.traffic(&s).tensor_flops, gqa.traffic(&s).tensor_flops);
     }
@@ -238,7 +241,10 @@ mod tests {
         assert_eq!(g.traffic(&ExecScheme::fp16_trt()).decompressed_bytes, 0.0);
         assert_eq!(g.traffic(&ExecScheme::awq()).decompressed_bytes, 0.0);
         let t = g.traffic(&ExecScheme::ecco());
-        assert!(t.decompressed_bytes > t.hbm_bytes, "expansion through the bank");
+        assert!(
+            t.decompressed_bytes > t.hbm_bytes,
+            "expansion through the bank"
+        );
     }
 
     #[test]

@@ -124,7 +124,10 @@ impl SynthSpec {
     ///
     /// Panics if either dimension is zero.
     pub fn generate(&self) -> Tensor {
-        assert!(self.rows > 0 && self.cols > 0, "dimensions must be positive");
+        assert!(
+            self.rows > 0 && self.cols > 0,
+            "dimensions must be positive"
+        );
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut sampler = TailSampler::new(self.tail_df);
 
@@ -236,8 +239,12 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        let a = SynthSpec::for_kind(TensorKind::Weight, 32, 128).seeded(1).generate();
-        let b = SynthSpec::for_kind(TensorKind::Weight, 32, 128).seeded(2).generate();
+        let a = SynthSpec::for_kind(TensorKind::Weight, 32, 128)
+            .seeded(1)
+            .generate();
+        let b = SynthSpec::for_kind(TensorKind::Weight, 32, 128)
+            .seeded(2)
+            .generate();
         assert_ne!(a.data(), b.data());
     }
 
@@ -288,7 +295,12 @@ mod tests {
         let t = spec.generate();
         let n = t.len() as f64;
         let mean: f64 = t.data().iter().map(|&x| x as f64).sum::<f64>() / n;
-        let var: f64 = t.data().iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / n;
+        let var: f64 = t
+            .data()
+            .iter()
+            .map(|&x| (x as f64 - mean).powi(2))
+            .sum::<f64>()
+            / n;
         assert!(mean.abs() < 0.02, "mean {mean}");
         assert!((var - 1.0).abs() < 0.05, "var {var}");
         assert!(excess_kurtosis(&t).abs() < 0.3);

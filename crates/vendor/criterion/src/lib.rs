@@ -1,0 +1,194 @@
+//! Offline vendored subset of the `criterion` API.
+//!
+//! Provides `criterion_group!` / `criterion_main!`, `Criterion`,
+//! `BenchmarkGroup`, `Bencher::iter` and `Throughput` with a simple
+//! calibrated wall-clock measurement loop instead of criterion's full
+//! statistical machinery. Each benchmark prints
+//! `name ... time: [<median> <unit>/iter]` plus a throughput line when one
+//! was declared. Set `ECCO_BENCH_MS` to change the per-benchmark
+//! measurement budget (default 300 ms).
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Declared work-per-iteration, used to report derived throughput.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// The measurement driver handed to each bench closure.
+pub struct Bencher {
+    ns_per_iter: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `f`, first calibrating an iteration count that fills the
+    /// measurement budget, then reporting mean ns/iter.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let budget = measure_budget();
+        // Calibrate: double the batch until it runs >= 1/20 of the budget.
+        let mut batch: u64 = 1;
+        let per_iter_ns = loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let dt = t0.elapsed();
+            if dt >= budget / 20 || batch >= 1 << 30 {
+                break dt.as_nanos() as f64 / batch as f64;
+            }
+            batch *= 2;
+        };
+        // Measure: as many batches as fit in the remaining budget.
+        let rounds = ((budget.as_nanos() as f64 / (per_iter_ns * batch as f64)).ceil() as u64)
+            .clamp(1, 1000);
+        let t0 = Instant::now();
+        for _ in 0..rounds * batch {
+            black_box(f());
+        }
+        let total = t0.elapsed();
+        self.iters = rounds * batch;
+        self.ns_per_iter = total.as_nanos() as f64 / self.iters as f64;
+    }
+
+    /// Mean nanoseconds per iteration from the last [`Bencher::iter`] run.
+    pub fn ns_per_iter(&self) -> f64 {
+        self.ns_per_iter
+    }
+}
+
+fn measure_budget() -> Duration {
+    let ms = std::env::var("ECCO_BENCH_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(300);
+    Duration::from_millis(ms)
+}
+
+fn human_time(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+fn report(name: &str, ns: f64, throughput: Option<Throughput>) {
+    let mut line = format!("{name:<40} time: [{} /iter]", human_time(ns));
+    if let Some(t) = throughput {
+        let per_s = match t {
+            Throughput::Bytes(b) => format!("{:.1} MiB/s", b as f64 / ns * 1e9 / (1 << 20) as f64),
+            Throughput::Elements(e) => format!("{:.3} Melem/s", e as f64 / ns * 1e9 / 1e6),
+        };
+        line.push_str(&format!("  thrpt: [{per_s}]"));
+    }
+    println!("{line}");
+}
+
+/// Top-level bench registry, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs `f` as a standalone benchmark named `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            ns_per_iter: 0.0,
+            iters: 0,
+        };
+        f(&mut b);
+        report(id, b.ns_per_iter, None);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            throughput: None,
+            _c: self,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput declaration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _c: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares work-per-iteration for subsequent benches in the group.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs `f` as `group/id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            ns_per_iter: 0.0,
+            iters: 0,
+        };
+        f(&mut b);
+        report(
+            &format!("{}/{id}", self.name),
+            b.ns_per_iter,
+            self.throughput,
+        );
+        self
+    }
+
+    /// Ends the group (separator line, for parity with criterion output).
+    pub fn finish(self) {}
+}
+
+/// Groups bench functions under one runner fn, as criterion does.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emits `main` running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        std::env::set_var("ECCO_BENCH_MS", "10");
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut g = c.benchmark_group("grp");
+        g.throughput(Throughput::Bytes(64));
+        g.bench_function("noop2", |b| b.iter(|| black_box(2 * 2)));
+        g.finish();
+    }
+}

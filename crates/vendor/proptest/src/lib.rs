@@ -1,0 +1,442 @@
+//! Offline vendored subset of the `proptest` API.
+//!
+//! Implements the exact surface the workspace's property tests use:
+//! the `proptest!` macro (with optional `#![proptest_config(...)]`),
+//! `prop_assert!` / `prop_assert_eq!`, range strategies, tuple strategies,
+//! `prop::collection::vec`, and `any::<T>()`. Cases are generated from a
+//! deterministic per-test RNG (seeded from the test's module path), so
+//! failures reproduce across runs. There is **no shrinking** — a failing
+//! case reports its index and message only, which is acceptable for this
+//! repository's CI-style usage.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Runner plumbing: the per-test RNG and failure type.
+pub mod test_runner {
+    use super::*;
+
+    /// Deterministic per-test random source.
+    pub struct TestRng(pub(crate) StdRng);
+
+    impl TestRng {
+        /// Seeds the RNG from a test identifier (stable across runs).
+        pub fn deterministic(name: &str) -> TestRng {
+            let mut h = 0xcbf29ce484222325u64; // FNV-1a
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+            TestRng(StdRng::seed_from_u64(h))
+        }
+    }
+
+    /// A failed property, carrying its formatted message.
+    #[derive(Debug)]
+    pub struct TestCaseError(pub String);
+
+    impl TestCaseError {
+        /// Builds a failure from a message.
+        pub fn fail(msg: String) -> TestCaseError {
+            TestCaseError(msg)
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+}
+
+use test_runner::TestRng;
+
+/// Per-`proptest!` configuration. Only `cases` is honoured.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        // Upstream defaults to 256; 64 keeps debug-profile CI fast while
+        // still exercising the properties.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A generator of random values (no shrinking).
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! uint_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let width = (self.end as u128) - (self.start as u128);
+                let draw = (rng.0.gen::<u64>() as u128) % width;
+                (self.start as u128 + draw) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let width = (hi as u128) - (lo as u128) + 1;
+                let draw = (rng.0.gen::<u64>() as u128) % width;
+                (lo as u128 + draw) as $t
+            }
+        }
+    )*};
+}
+uint_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! sint_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                // i128 keeps negative-start widths exact (a u128 cast
+                // would sign-extend and underflow the subtraction).
+                let width = (self.end as i128 - self.start as i128) as u128;
+                let draw = (rng.0.gen::<u64>() as u128) % width;
+                (self.start as i128 + draw as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let width = (hi as i128 - lo as i128 + 1) as u128;
+                let draw = (rng.0.gen::<u64>() as u128) % width;
+                (lo as i128 + draw as i128) as $t
+            }
+        }
+    )*};
+}
+sint_strategy!(i8, i16, i32, i64);
+
+macro_rules! float_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let unit = rng.0.gen::<$t>();
+                self.start + (self.end - self.start) * unit
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                let unit = rng.0.gen::<$t>();
+                lo + (hi - lo) * unit
+            }
+        }
+    )*};
+}
+float_strategy!(f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arb_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.0.gen::<u64>() as $t
+            }
+        }
+    )*};
+}
+arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.0.gen::<bool>()
+    }
+}
+
+/// Strategy adapter returned by [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// The unconstrained strategy for `T` (mirrors `proptest::arbitrary::any`).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// `prop::...` namespace, mirroring upstream's module layout.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::*;
+
+        /// Length specification for [`vec`]: a fixed size or a range.
+        pub trait SizeRange {
+            /// Draws a length.
+            fn pick(&self, rng: &mut TestRng) -> usize;
+        }
+
+        impl SizeRange for usize {
+            fn pick(&self, _rng: &mut TestRng) -> usize {
+                *self
+            }
+        }
+
+        impl SizeRange for Range<usize> {
+            fn pick(&self, rng: &mut TestRng) -> usize {
+                Strategy::generate(self, rng)
+            }
+        }
+
+        impl SizeRange for RangeInclusive<usize> {
+            fn pick(&self, rng: &mut TestRng) -> usize {
+                Strategy::generate(self, rng)
+            }
+        }
+
+        /// Strategy for `Vec<S::Value>` with lengths drawn from `size`.
+        pub struct VecStrategy<S, Z> {
+            elem: S,
+            size: Z,
+        }
+
+        /// `prop::collection::vec(element_strategy, size)`.
+        pub fn vec<S: Strategy, Z: SizeRange>(elem: S, size: Z) -> VecStrategy<S, Z> {
+            VecStrategy { elem, size }
+        }
+
+        impl<S: Strategy, Z: SizeRange> Strategy for VecStrategy<S, Z> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let n = self.size.pick(rng);
+                (0..n).map(|_| self.elem.generate(rng)).collect()
+            }
+        }
+    }
+
+    /// Numeric sub-namespaces (placeholder for API parity).
+    pub mod num {}
+}
+
+/// Everything a property test needs in scope.
+pub mod prelude {
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case (not
+/// panicking directly) so the runner can report the case index.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Skips the current case when its precondition does not hold (upstream
+/// re-draws; this stub simply counts the case as passed).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Ok(());
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+/// Equality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, $($fmt)*);
+    }};
+}
+
+/// Inequality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l != r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+}
+
+/// The property-test entry macro. Supports an optional leading
+/// `#![proptest_config(expr)]` and any number of test functions of the
+/// form `fn name(arg in strategy, ...) { body }`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!{ (<$crate::ProptestConfig as ::std::default::Default>::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::TestRng::deterministic(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            for case in 0..config.cases {
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        { $body }
+                        ::std::result::Result::Ok(())
+                    })();
+                if let ::std::result::Result::Err(e) = outcome {
+                    panic!(
+                        "proptest {} failed at case {}/{}: {}",
+                        stringify!($name),
+                        case,
+                        config.cases,
+                        e
+                    );
+                }
+            }
+        }
+        $crate::__proptest_fns!{ ($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_in_bounds(x in 3u32..10, f in -1.0f32..1.0) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-1.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn signed_ranges(x in -20i32..-3, y in -8i64..=8) {
+            prop_assert!((-20..-3).contains(&x));
+            prop_assert!((-8..=8).contains(&y));
+        }
+
+        #[test]
+        fn vec_lengths(v in prop::collection::vec(0u8..5, 2..=6)) {
+            prop_assert!((2..=6).contains(&v.len()));
+            prop_assert!(v.iter().all(|&b| b < 5));
+        }
+
+        #[test]
+        fn tuples_and_any(pair in (0u64..100, 1u32..=8), b in any::<u8>()) {
+            prop_assert!(pair.0 < 100);
+            prop_assert!((1..=8).contains(&pair.1));
+            let _ = b;
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(5))]
+        #[test]
+        fn config_applies(x in 0u8..=255) {
+            let _ = x;
+            prop_assert_eq!(1 + 1, 2);
+        }
+    }
+
+    proptest! {
+        #[test]
+        #[should_panic(expected = "failed at case")]
+        fn failures_report_case(x in 0u32..10) {
+            prop_assert!(x > 100, "x was {}", x);
+        }
+    }
+}

@@ -1,0 +1,338 @@
+//! Offline vendored subset of the `rayon` API, built on `std::thread::scope`.
+//!
+//! The multi-block codec pipeline only needs order-preserving data
+//! parallelism over slices: `par_iter().map(..).collect()`,
+//! `par_chunks(..)`, and `par_chunks_mut(..).enumerate().for_each(..)`.
+//! This crate implements exactly that surface with eager evaluation —
+//! each parallel operation partitions the index space into one contiguous
+//! range per worker thread and joins in order, so results are
+//! deterministic and identical to the sequential computation.
+//!
+//! Differences from real rayon: no work stealing (coarse static
+//! partitioning only), no global pool (threads are scoped per call), and
+//! adapters are eager rather than lazy. For the tensor-sized batches the
+//! pipeline feeds through it, static partitioning is within noise of a
+//! stealing scheduler, and scoped spawning costs microseconds per call.
+//!
+//! `RAYON_NUM_THREADS` is honoured; `0`/unset means one worker per core.
+
+#![forbid(unsafe_code)]
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads parallel operations will use.
+pub fn current_num_threads() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Runs two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("rayon::join worker panicked"))
+    })
+}
+
+/// Evaluates `f(i)` for `i in 0..len` across worker threads, returning
+/// results in index order. The core primitive behind every adapter here.
+fn run_indexed<R, F>(len: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    if len == 0 {
+        return Vec::new();
+    }
+    let workers = current_num_threads().min(len);
+    if workers == 1 {
+        return (0..len).map(f).collect();
+    }
+    let chunk = len.div_ceil(workers);
+    let mut parts: Vec<Vec<R>> = Vec::with_capacity(workers);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let f = &f;
+                let lo = w * chunk;
+                let hi = ((w + 1) * chunk).min(len);
+                s.spawn(move || (lo..hi).map(f).collect::<Vec<R>>())
+            })
+            .collect();
+        for h in handles {
+            parts.push(h.join().expect("rayon worker panicked"));
+        }
+    });
+    let mut out = Vec::with_capacity(len);
+    for p in parts {
+        out.extend(p);
+    }
+    out
+}
+
+/// Order-preserving parallel iterator over `&[T]`.
+pub struct ParIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Maps each element through `f` (evaluated at `collect`).
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        F: Fn(&'a T) -> R + Sync,
+        R: Send,
+    {
+        ParMap {
+            slice: self.slice,
+            f,
+        }
+    }
+
+    /// Calls `f` on every element in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'a T) + Sync,
+    {
+        run_indexed(self.slice.len(), |i| f(&self.slice[i]));
+    }
+}
+
+/// The pending `map` stage of a [`ParIter`].
+pub struct ParMap<'a, T, F> {
+    slice: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync, F> ParMap<'a, T, F> {
+    /// Runs the map across worker threads and collects in index order.
+    pub fn collect<R, C>(self) -> C
+    where
+        F: Fn(&'a T) -> R + Sync,
+        R: Send,
+        C: FromIterator<R>,
+    {
+        run_indexed(self.slice.len(), |i| (self.f)(&self.slice[i]))
+            .into_iter()
+            .collect()
+    }
+}
+
+/// Order-preserving parallel iterator over non-overlapping `&[T]` chunks.
+pub struct ParChunks<'a, T> {
+    slice: &'a [T],
+    size: usize,
+}
+
+impl<'a, T: Sync> ParChunks<'a, T> {
+    /// Maps each chunk through `f` (evaluated at `collect`).
+    pub fn map<R, F>(self, f: F) -> ParChunksMap<'a, T, F>
+    where
+        F: Fn(&'a [T]) -> R + Sync,
+        R: Send,
+    {
+        ParChunksMap {
+            slice: self.slice,
+            size: self.size,
+            f,
+        }
+    }
+}
+
+/// The pending `map` stage of a [`ParChunks`].
+pub struct ParChunksMap<'a, T, F> {
+    slice: &'a [T],
+    size: usize,
+    f: F,
+}
+
+impl<'a, T: Sync, F> ParChunksMap<'a, T, F> {
+    /// Runs the map across worker threads and collects in chunk order.
+    pub fn collect<R, C>(self) -> C
+    where
+        F: Fn(&'a [T]) -> R + Sync,
+        R: Send,
+        C: FromIterator<R>,
+    {
+        let n = self.slice.len().div_ceil(self.size);
+        run_indexed(n, |i| {
+            let lo = i * self.size;
+            let hi = (lo + self.size).min(self.slice.len());
+            (self.f)(&self.slice[lo..hi])
+        })
+        .into_iter()
+        .collect()
+    }
+}
+
+/// Parallel iterator over non-overlapping `&mut [T]` chunks.
+pub struct ParChunksMut<'a, T> {
+    slice: &'a mut [T],
+    size: usize,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    /// Pairs each chunk with its index.
+    pub fn enumerate(self) -> ParChunksMutEnumerate<'a, T> {
+        ParChunksMutEnumerate { inner: self }
+    }
+
+    /// Calls `f` on every chunk in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut [T]) + Sync,
+    {
+        self.enumerate().for_each(|(_, c)| f(c));
+    }
+}
+
+/// Enumerated variant of [`ParChunksMut`].
+pub struct ParChunksMutEnumerate<'a, T> {
+    inner: ParChunksMut<'a, T>,
+}
+
+impl<'a, T: Send> ParChunksMutEnumerate<'a, T> {
+    /// Calls `f((chunk_index, chunk))` on every chunk in parallel.
+    ///
+    /// Each worker thread receives a contiguous run of whole chunks via
+    /// `split_at_mut`, so no element is aliased.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &mut [T])) + Sync,
+    {
+        let size = self.inner.size;
+        let data = self.inner.slice;
+        let n_chunks = data.len().div_ceil(size.max(1));
+        if n_chunks == 0 {
+            return;
+        }
+        let workers = current_num_threads().min(n_chunks);
+        let chunks_per_worker = n_chunks.div_ceil(workers);
+        std::thread::scope(|s| {
+            let mut rest = data;
+            let mut first_chunk = 0usize;
+            for _ in 0..workers {
+                if rest.is_empty() {
+                    break;
+                }
+                let take = (chunks_per_worker * size).min(rest.len());
+                let (head, tail) = rest.split_at_mut(take);
+                rest = tail;
+                let base = first_chunk;
+                first_chunk += chunks_per_worker;
+                let f = &f;
+                s.spawn(move || {
+                    for (k, chunk) in head.chunks_mut(size).enumerate() {
+                        f((base + k, chunk));
+                    }
+                });
+            }
+        });
+    }
+}
+
+/// `rayon::prelude` — extension traits adding `par_*` methods to slices.
+pub mod prelude {
+    use super::*;
+
+    /// Adds `par_iter` (mirrors `rayon::iter::IntoParallelRefIterator`).
+    pub trait IntoParallelRefIterator<'a> {
+        /// The element type.
+        type Item: 'a;
+        /// Returns an order-preserving parallel iterator.
+        fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+        type Item = T;
+        fn par_iter(&'a self) -> ParIter<'a, T> {
+            ParIter { slice: self }
+        }
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+        type Item = T;
+        fn par_iter(&'a self) -> ParIter<'a, T> {
+            ParIter { slice: self }
+        }
+    }
+
+    /// Adds `par_chunks` (mirrors `rayon::slice::ParallelSlice`).
+    pub trait ParallelSlice<T: Sync> {
+        /// Parallel iterator over `size`-element chunks.
+        fn par_chunks(&self, size: usize) -> ParChunks<'_, T>;
+    }
+
+    impl<T: Sync> ParallelSlice<T> for [T] {
+        fn par_chunks(&self, size: usize) -> ParChunks<'_, T> {
+            assert!(size > 0, "chunk size must be positive");
+            ParChunks { slice: self, size }
+        }
+    }
+
+    /// Adds `par_chunks_mut` (mirrors `rayon::slice::ParallelSliceMut`).
+    pub trait ParallelSliceMut<T: Send> {
+        /// Parallel iterator over mutable `size`-element chunks.
+        fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T>;
+    }
+
+    impl<T: Send> ParallelSliceMut<T> for [T] {
+        fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T> {
+            assert!(size > 0, "chunk size must be positive");
+            ParChunksMut { slice: self, size }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let xs: Vec<u64> = (0..1000).collect();
+        let doubled: Vec<u64> = xs.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_chunks_cover_everything() {
+        let xs: Vec<u32> = (0..997).collect();
+        let sums: Vec<u32> = xs.par_chunks(64).map(|c| c.iter().sum()).collect();
+        assert_eq!(sums.len(), 997usize.div_ceil(64));
+        assert_eq!(sums.iter().sum::<u32>(), (0..997).sum::<u32>());
+    }
+
+    #[test]
+    fn par_chunks_mut_enumerate_writes_disjoint() {
+        let mut xs = vec![0usize; 130];
+        xs.par_chunks_mut(8).enumerate().for_each(|(i, chunk)| {
+            for x in chunk.iter_mut() {
+                *x = i;
+            }
+        });
+        for (j, &x) in xs.iter().enumerate() {
+            assert_eq!(x, j / 8);
+        }
+    }
+
+    #[test]
+    fn join_runs_both() {
+        let (a, b) = super::join(|| 40, || 2);
+        assert_eq!(a + b, 42);
+    }
+}

@@ -1,0 +1,28 @@
+//! Marker-trait facade over serde's public names (offline vendored stub).
+//!
+//! The workspace derives `Serialize`/`Deserialize` on many types for API
+//! compatibility with the real serde ecosystem, but never actually
+//! serializes anything (benches write JSON by hand). This stub keeps the
+//! `use serde::{Deserialize, Serialize}` imports and `#[derive(...)]`
+//! attributes compiling without network access:
+//!
+//! * the derive macros (re-exported from [`serde_derive`]) expand to
+//!   nothing,
+//! * the traits are blanket-implemented so bounds like `T: Serialize`
+//!   remain satisfiable.
+//!
+//! Swapping back to the real serde is a one-line change per `Cargo.toml`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}

@@ -1,0 +1,23 @@
+//! No-op stand-ins for serde's `Serialize`/`Deserialize` derive macros.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the *exact* dependency surface it uses. Nothing in this
+//! repository serializes data structures (the benches emit JSON by hand),
+//! so the derives only need to *accept* the attribute grammar — including
+//! `#[serde(...)]` field attributes — and emit no code at all.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` (and `#[serde(...)]` helpers) and emits
+/// nothing. See the crate docs for why this is sufficient here.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` (and `#[serde(...)]` helpers) and
+/// emits nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

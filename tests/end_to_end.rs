@@ -8,7 +8,9 @@ use ecco::tensor::stats::nmse;
 
 #[test]
 fn weight_pipeline_end_to_end() {
-    let w = SynthSpec::for_kind(TensorKind::Weight, 64, 1024).seeded(1001).generate();
+    let w = SynthSpec::for_kind(TensorKind::Weight, 64, 1024)
+        .seeded(1001)
+        .generate();
     let codec = WeightCodec::calibrate(&[&w], &EccoConfig::default());
     let (ct, stats) = codec.compress(&w);
 
@@ -33,7 +35,9 @@ fn weight_pipeline_end_to_end() {
 
 #[test]
 fn kv_pipeline_with_hw_compressor() {
-    let k = SynthSpec::for_kind(TensorKind::KCache, 64, 1024).seeded(1002).generate();
+    let k = SynthSpec::for_kind(TensorKind::KCache, 64, 1024)
+        .seeded(1002)
+        .generate();
     let codec = KvCodec::calibrate(&[&k], &EccoConfig::default());
     let meta = codec.metadata().with_scale(TensorMetadata::scale_for(&k));
     let hw = HwCompressor::new(&meta);
@@ -49,7 +53,9 @@ fn kv_pipeline_with_hw_compressor() {
 
 #[test]
 fn activation_pipeline_2x() {
-    let a = SynthSpec::for_kind(TensorKind::Activation, 64, 1024).seeded(1003).generate();
+    let a = SynthSpec::for_kind(TensorKind::Activation, 64, 1024)
+        .seeded(1003)
+        .generate();
     let codec = ActivationCodec::new();
     let (blocks, stats) = codec.compress(&a);
     assert_eq!(blocks.len() * 64 * 2, a.len() * 2);
@@ -62,7 +68,9 @@ fn activation_pipeline_2x() {
 fn compression_feeds_simulator_consistently() {
     // The simulator's Ecco scheme assumes 4x weights/KV and 2x
     // activations; the codec must actually deliver those ratios.
-    let w = SynthSpec::for_kind(TensorKind::Weight, 32, 1024).seeded(1004).generate();
+    let w = SynthSpec::for_kind(TensorKind::Weight, 32, 1024)
+        .seeded(1004)
+        .generate();
     let codec = WeightCodec::calibrate(&[&w], &EccoConfig::default());
     let (ct, _) = codec.compress(&w);
     let achieved_bits = ct.compressed_bytes() as f64 * 8.0 / w.len() as f64;
@@ -95,10 +103,20 @@ fn memory_footprint_matches_block_accounting() {
 fn cross_kind_calibration_generalizes() {
     // Calibrate the weight codec on two tensors, compress a third drawn
     // from the same distribution family but a different seed.
-    let a = SynthSpec::for_kind(TensorKind::Weight, 32, 1024).seeded(1).generate();
-    let b = SynthSpec::for_kind(TensorKind::Weight, 32, 1024).seeded(2).generate();
-    let c = SynthSpec::for_kind(TensorKind::Weight, 32, 1024).seeded(3).generate();
+    let a = SynthSpec::for_kind(TensorKind::Weight, 32, 1024)
+        .seeded(1)
+        .generate();
+    let b = SynthSpec::for_kind(TensorKind::Weight, 32, 1024)
+        .seeded(2)
+        .generate();
+    let c = SynthSpec::for_kind(TensorKind::Weight, 32, 1024)
+        .seeded(3)
+        .generate();
     let codec = WeightCodec::calibrate(&[&a, &b], &EccoConfig::default());
     let (out, _) = codec.roundtrip(&c);
-    assert!(nmse(&c, &out) < 0.03, "generalization NMSE {}", nmse(&c, &out));
+    assert!(
+        nmse(&c, &out) < 0.03,
+        "generalization NMSE {}",
+        nmse(&c, &out)
+    );
 }

@@ -36,8 +36,14 @@ fn table1_headline_claims_hold() {
         ppl(Method::EccoW4A8Kv4),
     ];
     let ecco4 = rows[4];
-    assert!(rows[..4].iter().all(|&p| p >= ecco4 - 5e-3), "Ecco must lead: {rows:?}");
-    assert!(rows[0] == rows.iter().cloned().fold(0.0, f64::max), "RTN worst");
+    assert!(
+        rows[..4].iter().all(|&p| p >= ecco4 - 5e-3),
+        "Ecco must lead: {rows:?}"
+    );
+    assert!(
+        rows[0] == rows.iter().cloned().fold(0.0, f64::max),
+        "RTN worst"
+    );
 }
 
 #[test]
@@ -100,7 +106,10 @@ fn figure14_sensitivity_shapes() {
     let engine = SimEngine::new(GpuSpec::a100());
     let wl = DecodeWorkload::new(ModelSpec::llama_13b(), 8, 2048);
     let base = wl
-        .step_time(&engine, &ExecScheme::ecco_with(DecompressorModel::shipped()))
+        .step_time(
+            &engine,
+            &ExecScheme::ecco_with(DecompressorModel::shipped()),
+        )
         .total;
     // 90% throughput: negligible; 10%: pronounced.
     let t90 = wl
@@ -125,7 +134,11 @@ fn figure14_sensitivity_shapes() {
             &ExecScheme::ecco_with(DecompressorModel::shipped().with_latency_cycles(300)),
         )
         .total;
-    assert!(t300 / base > 1.15 && t300 / base < 1.45, "latency slowdown {}", t300 / base);
+    assert!(
+        t300 / base > 1.15 && t300 / base < 1.45,
+        "latency slowdown {}",
+        t300 / base
+    );
 }
 
 #[test]
@@ -133,9 +146,15 @@ fn figure10_padding_ordering() {
     // K-cache pads most, V-cache second, weights least — the Figure 10
     // fingerprint.
     let cfg = EccoConfig::default();
-    let w = SynthSpec::for_kind(TensorKind::Weight, 64, 1024).seeded(9).generate();
-    let k = SynthSpec::for_kind(TensorKind::KCache, 64, 1024).seeded(9).generate();
-    let v = SynthSpec::for_kind(TensorKind::VCache, 64, 1024).seeded(9).generate();
+    let w = SynthSpec::for_kind(TensorKind::Weight, 64, 1024)
+        .seeded(9)
+        .generate();
+    let k = SynthSpec::for_kind(TensorKind::KCache, 64, 1024)
+        .seeded(9)
+        .generate();
+    let v = SynthSpec::for_kind(TensorKind::VCache, 64, 1024)
+        .seeded(9)
+        .generate();
     let wp = {
         let c = WeightCodec::calibrate(&[&w], &cfg);
         c.compress(&w).1.pad_ratio()

@@ -8,7 +8,9 @@ use ecco::hw::decode_block_parallel;
 use ecco::prelude::*;
 
 fn test_meta() -> (TensorMetadata, Tensor) {
-    let t = SynthSpec::for_kind(TensorKind::Weight, 16, 1024).seeded(2001).generate();
+    let t = SynthSpec::for_kind(TensorKind::Weight, 16, 1024)
+        .seeded(2001)
+        .generate();
     let cfg = EccoConfig {
         num_patterns: 16,
         max_calibration_groups: 256,
@@ -36,7 +38,10 @@ fn single_bit_flips_never_panic() {
         }
         // The parallel model must agree with the sequential decoder even
         // on corrupted data (same error or same values).
-        match (decode_group(&corrupted, &meta), decode_block_parallel(&corrupted, &meta)) {
+        match (
+            decode_group(&corrupted, &meta),
+            decode_block_parallel(&corrupted, &meta),
+        ) {
             (Ok((a, _)), Ok((b, _))) => assert_eq!(a, b, "bit {bit}"),
             (Err(ea), Err(eb)) => assert_eq!(ea, eb, "bit {bit}"),
             (a, b) => panic!("decoders disagree on bit {bit}: {a:?} vs {b:?}"),
@@ -49,9 +54,8 @@ fn all_zero_and_all_one_blocks() {
     let (meta, _) = test_meta();
     for fill in [0x00u8, 0xFF] {
         let block = Block64::from_bytes([fill; 64]);
-        match decode_group(&block, &meta) {
-            Ok((vals, _)) => assert_eq!(vals.len(), 128),
-            Err(_) => {}
+        if let Ok((vals, _)) = decode_group(&block, &meta) {
+            assert_eq!(vals.len(), 128)
         }
     }
 }
@@ -79,7 +83,9 @@ fn random_blocks_fuzz_both_decoders() {
     for _ in 0..500 {
         let mut bytes = [0u8; 64];
         for b in &mut bytes {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             *b = (state >> 56) as u8;
         }
         let block = Block64::from_bytes(bytes);
@@ -100,7 +106,9 @@ fn activation_codec_handles_extremes() {
     for pattern in [
         vec![60000.0f32; 64],
         vec![-60000.0f32; 64],
-        (0..64).map(|i| if i % 2 == 0 { 1e4 } else { -1e4 }).collect::<Vec<_>>(),
+        (0..64)
+            .map(|i| if i % 2 == 0 { 1e4 } else { -1e4 })
+            .collect::<Vec<_>>(),
         vec![0.0f32; 64],
     ] {
         let block = codec.compress_group(&pattern);
