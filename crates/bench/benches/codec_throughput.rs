@@ -1,23 +1,38 @@
 //! Codec throughput: single-group encode/decode micro-benches plus the
-//! multi-block pipeline, with a machine-readable `BENCH_codec.json`
-//! recording symbols/s for the perf trajectory.
+//! multi-block pipeline, with machine-readable JSON for the perf
+//! trajectory: `BENCH_codec.json` (decode side) and `BENCH_encode.json`
+//! (compress side).
 //!
-//! The JSON compares four decode implementations on identical inputs:
+//! `BENCH_codec.json` compares four decode implementations on identical
+//! inputs:
 //!
 //! * `seq` — the sequential reference (`decode_group`),
 //! * `seed_port` — the seed's speculative decoder (Vec-per-path,
 //!   clone-per-merge), preserved in `ecco_hw::paradec::seed_port`,
-//! * `lut` — this PR's table-driven zero-allocation decoder,
+//! * `lut` — PR 1's table-driven zero-allocation decoder,
 //! * `pipeline` — the rayon multi-block pipeline over the LUT decoder.
+//!
+//! `BENCH_encode.json` covers the compress-side hot path:
+//!
+//! * `book_selection` — the packed-lane single-pass codebook selection
+//!   (the cached `MultiLenTable` path `encode_group` uses) vs the H-pass
+//!   `encoded_len`-per-book baseline,
+//! * `encode` — full `encode_group` and the parallel encode pipeline,
+//! * `calibration` — rayon-parallel `TensorMetadata::calibrate` vs the
+//!   pinned sequential reference `calibrate_weighted_seq`.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use ecco_bits::Block64;
 use ecco_core::parallel::encode_groups_parallel_unchecked;
-use ecco_core::{decode_group, encode_group, EccoConfig, PatternSelector, TensorMetadata};
-use ecco_hw::paradec::seed_port;
-use ecco_hw::{decode_blocks_parallel, DecodeScratch, ParallelDecoder};
+use ecco_core::{
+    decode_group, encode_group, normalize_group, EccoConfig, PatternSelector, TensorMetadata,
+};
+use ecco_tensor::Tensor;
 use std::hint::black_box;
 use std::time::Instant;
+
+use ecco_hw::paradec::seed_port;
+use ecco_hw::{decode_blocks_parallel, DecodeScratch, ParallelDecoder};
 
 const GROUP: usize = 128;
 
@@ -49,6 +64,12 @@ fn bench(c: &mut Criterion) {
     });
     g.finish();
 
+    let mut g = c.benchmark_group("calibration");
+    g.bench_function("calibrate_weighted_parallel", |b| {
+        b.iter(|| TensorMetadata::calibrate(black_box(&[&t]), &cfg, PatternSelector::MseOptimal))
+    });
+    g.finish();
+
     let mut g = c.benchmark_group("tensor_pipeline");
     g.throughput(Throughput::Bytes(2 * t.len() as u64));
     g.bench_function("pipeline_encode_tensor", |b| {
@@ -62,6 +83,7 @@ fn bench(c: &mut Criterion) {
     g.finish();
 
     write_bench_json(&meta, &blocks);
+    write_encode_json(&t, &meta, &cfg);
 }
 
 /// Mean ns of `f` over a time-boxed number of repetitions.
@@ -166,6 +188,119 @@ fn write_bench_json(meta: &TensorMetadata, blocks: &[Block64]) {
     println!(
         "LUT decoder is {:.1}x the seed implementation on identical inputs",
         seed_ns / lut_ns
+    );
+}
+
+/// Compress-side counterpart of [`write_bench_json`]: codebook selection
+/// single-pass vs H-pass, full encode throughput, and parallel vs
+/// sequential calibration wall time.
+fn write_encode_json(t: &Tensor, meta: &TensorMetadata, cfg: &EccoConfig) {
+    // Precompute per-group symbol streams exactly as the encoder derives
+    // them, so the selection timings isolate the codebook choice.
+    let symbol_sets: Vec<(usize, Vec<u16>)> = t
+        .groups(GROUP)
+        .map(|g| {
+            let ng = normalize_group(g, meta.tensor_scale);
+            let kp = meta.select_pattern(&ng, PatternSelector::MseOptimal);
+            (kp, ng.symbols(&meta.patterns[kp]))
+        })
+        .collect();
+    let n_groups = symbol_sets.len();
+    let symbols = (n_groups * GROUP) as f64;
+
+    // Codebook selection: H separate `encoded_len` sweeps (the pre-PR
+    // baseline) vs one packed-lane pass.
+    let h_pass_ns = time_ns(|| {
+        for (kp, syms) in &symbol_sets {
+            let best = meta.books[*kp]
+                .iter()
+                .enumerate()
+                .map(|(i, b)| (i, b.encoded_len(black_box(syms))))
+                .min_by_key(|&(_, len)| len)
+                .expect("H >= 1");
+            black_box(best);
+        }
+    });
+    // The encoder's actual path: the packed table is cached per pattern
+    // in the metadata, so the per-group cost is one load-add per symbol.
+    let single_pass_ns = time_ns(|| {
+        for (kp, syms) in &symbol_sets {
+            let table = meta.len_table(*kp).expect("calibrated metadata");
+            black_box(table.best(black_box(syms)));
+        }
+    });
+
+    // Full group encode, sequential and through the rayon pipeline.
+    let encode_ns = time_ns(|| {
+        for g in t.groups(GROUP) {
+            black_box(encode_group(
+                black_box(g),
+                meta,
+                PatternSelector::MseOptimal,
+            ));
+        }
+    });
+    let pipeline_ns = time_ns(|| {
+        black_box(encode_groups_parallel_unchecked(
+            black_box(t),
+            meta,
+            PatternSelector::MseOptimal,
+        ));
+    });
+
+    // Offline calibration: the rayon-parallel path vs the pinned
+    // sequential reference (bit-identical outputs; see the differential
+    // proptests in ecco-core::metadata).
+    let cal_par_ns = time_ns(|| {
+        black_box(TensorMetadata::calibrate(
+            black_box(&[t]),
+            cfg,
+            PatternSelector::MseOptimal,
+        ));
+    });
+    let cal_seq_ns = time_ns(|| {
+        black_box(TensorMetadata::calibrate_weighted_seq(
+            black_box(&[t]),
+            None,
+            cfg,
+            PatternSelector::MseOptimal,
+        ));
+    });
+
+    let per_s = |ns: f64| symbols / ns * 1e9;
+    let json = format!(
+        "{{\n  \
+         \"bench\": \"encode_throughput\",\n  \
+         \"blocks\": {n_groups},\n  \
+         \"group_size\": {GROUP},\n  \
+         \"threads\": {threads},\n  \
+         \"book_selection\": {{\n    \
+           \"h_pass_baseline_syms_per_s\": {hp:.0},\n    \
+           \"single_pass_syms_per_s\": {sp:.0},\n    \
+           \"single_pass_vs_h_pass_speedup\": {sel_speedup:.2}\n  }},\n  \
+         \"encode\": {{\n    \
+           \"encode_group_syms_per_s\": {enc:.0},\n    \
+           \"pipeline_encode_syms_per_s\": {pipe:.0}\n  }},\n  \
+         \"calibration\": {{\n    \
+           \"sequential_ms\": {cal_seq:.2},\n    \
+           \"parallel_ms\": {cal_par:.2},\n    \
+           \"parallel_vs_sequential_speedup\": {cal_speedup:.2}\n  }}\n}}\n",
+        threads = rayon::current_num_threads(),
+        hp = per_s(h_pass_ns),
+        sp = per_s(single_pass_ns),
+        sel_speedup = h_pass_ns / single_pass_ns,
+        enc = per_s(encode_ns),
+        pipe = per_s(pipeline_ns),
+        cal_seq = cal_seq_ns / 1e6,
+        cal_par = cal_par_ns / 1e6,
+        cal_speedup = cal_seq_ns / cal_par_ns,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_encode.json");
+    std::fs::write(path, &json).expect("write BENCH_encode.json");
+    println!("\nBENCH_encode.json:\n{json}");
+    println!(
+        "single-pass codebook selection is {:.1}x the H-pass baseline on identical inputs",
+        h_pass_ns / single_pass_ns
     );
 }
 

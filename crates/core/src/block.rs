@@ -132,27 +132,21 @@ fn encode_group_full(
     let pattern = &meta.patterns[kp];
 
     // Symbol assignment (step 5).
-    let symbols: Vec<u16> = ng
-        .values
-        .iter()
-        .enumerate()
-        .map(|(i, &v)| {
-            if i == ng.max_pos {
-                SCALE_SYMBOL
-            } else {
-                pattern.nearest(v)
-            }
-        })
-        .collect();
+    let symbols = ng.symbols(pattern);
 
-    // Step 8: pick the codebook with the shortest total encoding.
+    // Step 8: pick the codebook with the shortest total encoding — a
+    // single pass over the symbols with packed per-symbol length lanes
+    // (one [u8; 4] lane group per symbol across the four books) instead
+    // of H separate `encoded_len` sweeps. Totals are exact and ties
+    // resolve to the lowest book index, so the choice is bit-identical
+    // to the multi-sweep baseline. The packed table is cached per
+    // pattern in the metadata; un-rebuilt deserialized metadata falls
+    // back to packing on the fly.
     let books = &meta.books[kp];
-    let (book_id, data_len) = books
-        .iter()
-        .enumerate()
-        .map(|(i, b)| (i, b.encoded_len(&symbols)))
-        .min_by_key(|&(_, len)| len)
-        .expect("H >= 1");
+    let (book_id, data_len) = match meta.len_table(kp) {
+        Some(table) => table.best(&symbols),
+        None => ecco_entropy::MultiLenTable::new(books).best(&symbols),
+    };
     let book = &books[book_id];
 
     // Header.
@@ -497,6 +491,32 @@ mod tests {
         let (out, dinfo) = decode_group(&block, &meta).unwrap();
         assert_eq!(dinfo.clipped_symbols, info.clipped_symbols);
         assert_eq!(out.len(), 128);
+    }
+
+    #[test]
+    fn single_pass_book_selection_matches_h_pass_baseline() {
+        // The encoder's packed-lane selection must pick the same book (and
+        // total length) as the original H separate `encoded_len` sweeps.
+        let t = SynthSpec::for_kind(TensorKind::KCache, 16, 512)
+            .seeded(18)
+            .generate();
+        let meta = meta_for(&t);
+        for g in t.groups(128) {
+            let ng = normalize_group(g, meta.tensor_scale);
+            let kp = meta.select_pattern(&ng, PatternSelector::MseOptimal);
+            let symbols = ng.symbols(&meta.patterns[kp]);
+            let baseline = meta.books[kp]
+                .iter()
+                .enumerate()
+                .map(|(i, b)| (i, b.encoded_len(&symbols)))
+                .min_by_key(|&(_, len)| len)
+                .unwrap();
+            let mut lens = ecco_entropy::MultiEncodedLen::new(&meta.books[kp]);
+            lens.push_slice(&symbols);
+            assert_eq!(lens.best(), baseline);
+            let (_, info) = encode_group(g, &meta, PatternSelector::MseOptimal);
+            assert_eq!(info.book_id, baseline.0, "encoder must pick the same book");
+        }
     }
 
     #[test]

@@ -2,6 +2,8 @@
 
 use ecco_numerics::{Po2Scale, F8E4M3};
 
+use crate::pattern::{KmeansPattern, SCALE_SYMBOL};
+
 /// A group after two-level normalization: the signed absmax has been
 /// quantized to FP8 under the per-tensor power-of-two scale, and every
 /// value divided by its magnitude.
@@ -54,6 +56,24 @@ pub fn normalize_group(group: &[f32], tensor_scale: Po2Scale) -> NormalizedGroup
 }
 
 impl NormalizedGroup {
+    /// Maps every value to its symbol under `pattern` (paper step 5): the
+    /// absmax position becomes [`SCALE_SYMBOL`], everything else the index
+    /// of its nearest centroid. The one symbol-derivation rule shared by
+    /// the encoder, calibration statistics, tests and benches.
+    pub fn symbols(&self, pattern: &KmeansPattern) -> Vec<u16> {
+        self.values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| {
+                if i == self.max_pos {
+                    SCALE_SYMBOL
+                } else {
+                    pattern.nearest(v)
+                }
+            })
+            .collect()
+    }
+
     /// Min/max of the normalized values excluding the absmax position —
     /// the two quantities the online KV pattern selector compares.
     pub fn minmax_excluding_max(&self) -> (f32, f32) {

@@ -48,6 +48,11 @@ impl KvCodec {
     /// and calibration statistics are collected under the min/max selector
     /// so codebooks match runtime symbol distributions.
     ///
+    /// Calibration runs across the rayon pool and is bit-identical to the
+    /// sequential reference (see [`TensorMetadata::calibrate`]); the
+    /// min/max selection the *online* compressor performs per group stays
+    /// as cheap as the hardware's two comparisons per pattern.
+    ///
     /// # Panics
     ///
     /// Panics if `tensors` is empty.

@@ -25,7 +25,22 @@
 //! recovers the exact clip point without any side information (see
 //! `block::tests::clip_point_is_unambiguous`).
 //!
+//! # Parallelism and determinism
+//!
+//! Every hot path is sharded across the rayon pool with order-preserving
+//! merges, so parallel and sequential runs are **bit-identical**:
+//!
+//! * offline calibration ([`TensorMetadata::calibrate`]) fans out group
+//!   normalization, the per-group k-means fits, histogram collection and
+//!   codebook construction — pinned against the sequential reference
+//!   [`TensorMetadata::calibrate_weighted_seq`] by differential proptests,
+//! * whole-tensor compress/decompress ([`WeightCodec::compress_parallel`]
+//!   / [`WeightCodec::decompress_parallel`]) shard the independent
+//!   64-byte blocks (see [`parallel`]).
+//!
 //! # Quick start
+//!
+//! Calibrate once, then compress and decompress across the thread pool:
 //!
 //! ```
 //! use ecco_core::{EccoConfig, WeightCodec};
@@ -33,12 +48,17 @@
 //!
 //! let tensor = SynthSpec::for_kind(TensorKind::Weight, 64, 256).generate();
 //! let codec = WeightCodec::calibrate(&[&tensor], &EccoConfig::default());
-//! let (compressed, stats) = codec.compress(&tensor);
-//! let restored = codec.decompress(&compressed);
+//!
+//! let (compressed, stats) = codec.compress_parallel(&tensor);
+//! let restored = codec.decompress_parallel(&compressed);
 //!
 //! assert_eq!(compressed.compressed_bytes(), tensor.len() / 2); // 4x vs FP16
 //! assert!(ecco_tensor::stats::nmse(&tensor, &restored) < 0.01);
 //! assert!(stats.clip_ratio() < 0.05);
+//!
+//! // The sequential paths produce the same bits — handy for debugging.
+//! let (seq, _) = codec.compress(&tensor);
+//! assert_eq!(seq.blocks(), compressed.blocks());
 //! ```
 
 #![forbid(unsafe_code)]

@@ -1,13 +1,16 @@
 //! Tensor-level metadata and offline calibration (steps 1–7 of Figure 4).
 
+use std::sync::{Arc, OnceLock};
+
 use ecco_entropy::huffman::Codebook;
-use ecco_kmeans::{fit_vectors, KmeansConfig};
+use ecco_entropy::MultiLenTable;
+use ecco_kmeans::{fit_scalar_batch, fit_vectors, KmeansConfig, ScalarJob};
 use ecco_numerics::{Po2Scale, F8E4M3};
 use ecco_tensor::Tensor;
 use serde::{Deserialize, Serialize};
 
 use crate::group::{normalize_group, NormalizedGroup};
-use crate::pattern::{shared_patterns, KmeansPattern, SCALE_SYMBOL, SYMBOL_COUNT};
+use crate::pattern::{shared_patterns, KmeansPattern, NUM_CENTROIDS, SYMBOL_COUNT};
 use crate::EccoConfig;
 
 /// How a group picks its shared k-means pattern.
@@ -38,10 +41,27 @@ pub struct TensorMetadata {
     pub id_hf_bits: u32,
     /// Values per group (always 128 in the 4× format).
     pub group_size: usize,
+    /// Lazily-built packed length tables, one per pattern, for the
+    /// encoder's single-pass codebook selection; shared (via `Arc`) by
+    /// clones made after first use. Not serialized — restored by
+    /// [`TensorMetadata::rebuild_tables`], like the codebook decode LUTs.
+    /// Replacing `books` by field access requires a `rebuild_tables` call
+    /// to stay coherent.
+    #[serde(skip)]
+    len_tables: Vec<OnceLock<Arc<MultiLenTable>>>,
 }
 
 impl TensorMetadata {
     /// Runs the full offline calibration over the provided tensors.
+    ///
+    /// The heavy stages — group normalization, the per-group 15-cluster
+    /// k-means fits (step 3), pattern assignment with symbol-histogram
+    /// collection (step 5) and per-pattern codebook construction (steps
+    /// 6–7) — are sharded across the rayon pool. Every stage merges its
+    /// shards in group (or pattern) order and every stochastic step is
+    /// seeded per group, so the result is **bit-identical** to the
+    /// sequential reference [`TensorMetadata::calibrate_weighted_seq`]
+    /// regardless of thread count (pinned by differential proptests).
     ///
     /// `selector` must match how groups will pick patterns at compression
     /// time, so the collected symbol statistics (and hence the Huffman
@@ -66,6 +86,10 @@ impl TensorMetadata {
     /// `col_mags`, when given, holds one mean-|activation| vector per
     /// tensor, with length equal to that tensor's column count.
     ///
+    /// Runs across the rayon pool with the same determinism guarantee as
+    /// [`TensorMetadata::calibrate`]: output is bit-identical to
+    /// [`TensorMetadata::calibrate_weighted_seq`].
+    ///
     /// # Panics
     ///
     /// Panics on empty input, invalid config, or mismatched magnitude
@@ -76,119 +100,27 @@ impl TensorMetadata {
         cfg: &EccoConfig,
         selector: PatternSelector,
     ) -> TensorMetadata {
-        cfg.validate();
-        assert!(!tensors.is_empty(), "need at least one calibration tensor");
-        if let Some(mags) = col_mags {
-            assert_eq!(mags.len(), tensors.len(), "one magnitude vector per tensor");
-            for (m, t) in mags.iter().zip(tensors) {
-                assert_eq!(m.len(), t.cols(), "one magnitude per column");
-            }
-        }
+        calibrate_impl(tensors, col_mags, cfg, selector, true)
+    }
 
-        // Step 2 prerequisite: global FP16→FP8 scale.
-        let absmax = tensors.iter().map(|t| t.absmax()).fold(0.0f32, f32::max);
-        let tensor_scale = Po2Scale::for_absmax(absmax, F8E4M3::MAX_FINITE);
-
-        // Sample calibration groups evenly across all tensors, keeping the
-        // squared channel magnitudes of each group's columns.
-        let total_groups: usize = tensors.iter().map(|t| t.len() / cfg.group_size).sum();
-        let budget = cfg.max_calibration_groups.min(total_groups).max(1);
-        let stride = (total_groups as f64 / budget as f64).max(1.0);
-        let mut sampled: Vec<NormalizedGroup> = Vec::with_capacity(budget);
-        let mut sampled_w: Vec<Option<Vec<f32>>> = Vec::with_capacity(budget);
-        let mut next_pick = 0f64;
-        let mut idx = 0usize;
-        for (ti, t) in tensors.iter().enumerate() {
-            for (gi, g) in t.groups(cfg.group_size).enumerate() {
-                if idx as f64 >= next_pick {
-                    sampled.push(normalize_group(g, tensor_scale));
-                    sampled_w.push(col_mags.map(|mags| {
-                        let col0 = (gi * cfg.group_size) % t.cols();
-                        mags[ti][col0..col0 + cfg.group_size]
-                            .iter()
-                            .map(|&m| m * m)
-                            .collect()
-                    }));
-                    next_pick += stride;
-                }
-                idx += 1;
-            }
-        }
-
-        // Step 3: per-group (activation-aware) patterns over non-absmax
-        // values.
-        let per_group: Vec<KmeansPattern> = sampled
-            .iter()
-            .zip(&sampled_w)
-            .enumerate()
-            .map(|(i, (ng, w))| {
-                let mut vals = Vec::with_capacity(ng.values.len() - 1);
-                let mut wts = Vec::with_capacity(ng.values.len() - 1);
-                for (j, &v) in ng.values.iter().enumerate() {
-                    if j == ng.max_pos {
-                        continue;
-                    }
-                    vals.push(v);
-                    if let Some(w) = w {
-                        wts.push(w[j]);
-                    }
-                }
-                let weights = if wts.is_empty() { None } else { Some(&wts[..]) };
-                KmeansPattern::from_group(&vals, weights, cfg.seed.wrapping_add(i as u64))
-            })
-            .collect();
-
-        // Step 4: S shared patterns.
-        let patterns = shared_patterns(&per_group, cfg.num_patterns, cfg.seed);
-
-        // Step 5 (on the calibration set): assign groups, collect histograms.
-        let mut usage = vec![0u64; patterns.len()];
-        let mut hists: Vec<Vec<Vec<f32>>> = vec![Vec::new(); patterns.len()];
-        for (ng, w) in sampled.iter().zip(&sampled_w) {
-            let kp = match w {
-                Some(w) => select_pattern_weighted(&patterns, ng, w),
-                None => select_pattern(&patterns, ng, selector),
-            };
-            usage[kp] += 1;
-            let mut h = vec![0f32; SYMBOL_COUNT];
-            for (i, &v) in ng.values.iter().enumerate() {
-                let sym = if i == ng.max_pos {
-                    SCALE_SYMBOL
-                } else {
-                    patterns[kp].nearest(v)
-                };
-                h[sym as usize] += 1.0;
-            }
-            let n = ng.values.len() as f32;
-            for x in &mut h {
-                *x /= n;
-            }
-            hists[kp].push(h);
-        }
-
-        // Steps 6–7: H codebooks per pattern from clustered histograms.
-        let books = hists
-            .iter()
-            .enumerate()
-            .map(|(kp, pattern_hists)| {
-                build_books(pattern_hists, cfg.books_per_pattern, cfg.seed ^ kp as u64)
-            })
-            .collect();
-
-        // Pattern-id code from usage frequencies (+1 smoothing keeps every
-        // pattern encodable).
-        let smoothed: Vec<u64> = usage.iter().map(|&u| u + 1).collect();
-        let pattern_code =
-            Codebook::from_frequencies(&smoothed, 1, 15).expect("S ≤ 4096 fits 15-bit codes");
-
-        TensorMetadata {
-            tensor_scale,
-            patterns,
-            books,
-            pattern_code,
-            id_hf_bits: cfg.id_hf_bits(),
-            group_size: cfg.group_size,
-        }
+    /// The sequential reference implementation of
+    /// [`TensorMetadata::calibrate_weighted`]: same inputs, same output,
+    /// one thread, no pool.
+    ///
+    /// The parallel path must stay bit-identical to this function — the
+    /// differential proptests in this module and the `codec_throughput`
+    /// calibration bench both compare against it.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`TensorMetadata::calibrate_weighted`].
+    pub fn calibrate_weighted_seq(
+        tensors: &[&Tensor],
+        col_mags: Option<&[&[f32]]>,
+        cfg: &EccoConfig,
+        selector: PatternSelector,
+    ) -> TensorMetadata {
+        calibrate_impl(tensors, col_mags, cfg, selector, false)
     }
 
     /// Picks the pattern for a normalized group under `selector`.
@@ -214,6 +146,19 @@ impl TensorMetadata {
             tensor_scale,
             ..self.clone()
         }
+    }
+
+    /// The packed per-symbol length table for pattern `kp`'s codebooks —
+    /// the encoder's single-pass selection primitive — built on first use
+    /// and shared (via `Arc`) by every clone made after that.
+    ///
+    /// Returns `None` when the cache slot is missing (deserialized
+    /// metadata before [`TensorMetadata::rebuild_tables`]); callers fall
+    /// back to building the table per call.
+    pub fn len_table(&self, kp: usize) -> Option<&MultiLenTable> {
+        self.len_tables
+            .get(kp)
+            .map(|slot| &**slot.get_or_init(|| Arc::new(MultiLenTable::new(&self.books[kp]))))
     }
 
     /// The scale a given tensor should be compressed under.
@@ -248,7 +193,8 @@ impl TensorMetadata {
         pattern_bytes + book_bytes + pattern_code_bytes + 1 // +1: tensor scale exp
     }
 
-    /// Restores the non-serialized decode tables after deserialization.
+    /// Restores the non-serialized encode/decode tables after
+    /// deserialization (or after replacing `books` in place).
     pub fn rebuild_tables(&mut self) {
         for row in &mut self.books {
             for b in row {
@@ -256,7 +202,209 @@ impl TensorMetadata {
             }
         }
         self.pattern_code.rebuild_tables();
+        self.len_tables = empty_len_tables(self.books.len());
     }
+}
+
+/// One sampled calibration group with its precomputed non-absmax views —
+/// built once per group so neither the k-means stage nor the assignment
+/// stage re-filters the absmax position.
+struct SampledGroup {
+    ng: NormalizedGroup,
+    /// The 127 non-absmax normalized values (k-means / MSE-fitness input).
+    vals: Vec<f32>,
+    /// Squared channel magnitudes aligned with `vals` (weighted mode only).
+    wts: Option<Vec<f32>>,
+}
+
+/// A group picked by even-stride sampling: tensor index, flat start offset
+/// of the group, and the column the group begins at.
+struct Pick {
+    ti: usize,
+    start: usize,
+    col0: usize,
+}
+
+/// Maps `f(index, item)` over `items`, either across the rayon pool
+/// (order-preserving; see [`crate::parallel::par_map_indexed`]) or in a
+/// plain sequential loop — the single switch that makes the parallel and
+/// reference calibrations share one body.
+fn map_ordered<T, R, F>(parallel: bool, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    if parallel {
+        crate::parallel::par_map_indexed(items, f)
+    } else {
+        items.iter().enumerate().map(|(i, x)| f(i, x)).collect()
+    }
+}
+
+/// The calibration body shared by the parallel entry point and the
+/// sequential reference. Every stage below is either pure index math
+/// (kept sequential) or an order-preserving map over independent,
+/// per-group-seeded work — which is why the two modes are bit-identical.
+fn calibrate_impl(
+    tensors: &[&Tensor],
+    col_mags: Option<&[&[f32]]>,
+    cfg: &EccoConfig,
+    selector: PatternSelector,
+    parallel: bool,
+) -> TensorMetadata {
+    cfg.validate();
+    assert!(!tensors.is_empty(), "need at least one calibration tensor");
+    for t in tensors {
+        assert_eq!(
+            t.len() % cfg.group_size,
+            0,
+            "tensor length {} not divisible by group size {}",
+            t.len(),
+            cfg.group_size
+        );
+    }
+    if let Some(mags) = col_mags {
+        assert_eq!(mags.len(), tensors.len(), "one magnitude vector per tensor");
+        for (m, t) in mags.iter().zip(tensors) {
+            assert_eq!(m.len(), t.cols(), "one magnitude per column");
+        }
+    }
+
+    // Step 2 prerequisite: global FP16→FP8 scale.
+    let absmax = tensors.iter().map(|t| t.absmax()).fold(0.0f32, f32::max);
+    let tensor_scale = Po2Scale::for_absmax(absmax, F8E4M3::MAX_FINITE);
+
+    // Sample calibration groups evenly across all tensors. Deciding which
+    // groups to keep is pure index math and stays sequential; the actual
+    // normalization work fans out below.
+    let total_groups: usize = tensors.iter().map(|t| t.len() / cfg.group_size).sum();
+    let budget = cfg.max_calibration_groups.min(total_groups).max(1);
+    let stride = (total_groups as f64 / budget as f64).max(1.0);
+    let mut picks: Vec<Pick> = Vec::with_capacity(budget);
+    let mut next_pick = 0f64;
+    let mut idx = 0usize;
+    for (ti, t) in tensors.iter().enumerate() {
+        for gi in 0..t.len() / cfg.group_size {
+            if idx as f64 >= next_pick {
+                let start = gi * cfg.group_size;
+                picks.push(Pick {
+                    ti,
+                    start,
+                    col0: start % t.cols(),
+                });
+                next_pick += stride;
+            }
+            idx += 1;
+        }
+    }
+
+    // Steps 1–2 per group: normalize and split off the absmax position,
+    // keeping the squared channel magnitudes of each group's columns.
+    let sampled: Vec<SampledGroup> = map_ordered(parallel, &picks, |_, p| {
+        let group = &tensors[p.ti].data()[p.start..p.start + cfg.group_size];
+        let ng = normalize_group(group, tensor_scale);
+        let w2: Option<Vec<f32>> = col_mags.map(|mags| {
+            mags[p.ti][p.col0..p.col0 + cfg.group_size]
+                .iter()
+                .map(|&m| m * m)
+                .collect()
+        });
+        let mut vals = Vec::with_capacity(ng.values.len() - 1);
+        let mut wts = w2.as_ref().map(|_| Vec::with_capacity(ng.values.len() - 1));
+        for (j, &v) in ng.values.iter().enumerate() {
+            if j == ng.max_pos {
+                continue;
+            }
+            vals.push(v);
+            if let (Some(wts), Some(w2)) = (&mut wts, &w2) {
+                wts.push(w2[j]);
+            }
+        }
+        SampledGroup { ng, vals, wts }
+    });
+
+    // Step 3: per-group (activation-aware) 15-cluster fits, one seeded
+    // job per group, sharded across the pool.
+    let jobs: Vec<ScalarJob<'_>> = sampled
+        .iter()
+        .enumerate()
+        .map(|(i, sg)| ScalarJob {
+            points: &sg.vals,
+            weights: sg.wts.as_deref(),
+            seed: cfg.seed.wrapping_add(i as u64),
+        })
+        .collect();
+    let km_cfg = KmeansConfig::with_k(NUM_CENTROIDS);
+    let fits = if parallel {
+        fit_scalar_batch(&jobs, &km_cfg)
+    } else {
+        jobs.iter().map(|j| j.fit(&km_cfg)).collect()
+    };
+    let per_group: Vec<KmeansPattern> = fits.iter().map(KmeansPattern::from_fit).collect();
+
+    // Step 4: S shared patterns (one global fit; Lloyd iterations are
+    // inherently sequential).
+    let patterns = shared_patterns(&per_group, cfg.num_patterns, cfg.seed);
+
+    // Step 5 (on the calibration set): assign each group a pattern and
+    // build its symbol histogram in parallel, then merge in group order —
+    // the same order the sequential loop pushes in.
+    let assigned: Vec<(usize, Vec<f32>)> = map_ordered(parallel, &sampled, |_, sg| {
+        let kp = match (&sg.wts, selector) {
+            (Some(wts), _) => argmin(patterns.iter().map(|p| p.weighted_sq_error(&sg.vals, wts))),
+            (None, PatternSelector::MseOptimal) => {
+                argmin(patterns.iter().map(|p| p.sq_error(&sg.vals)))
+            }
+            (None, PatternSelector::MinMax) => {
+                let (lo, hi) = sg.ng.minmax_excluding_max();
+                argmin(patterns.iter().map(|p| p.minmax_fitness(lo, hi)))
+            }
+        };
+        let mut h = vec![0f32; SYMBOL_COUNT];
+        for sym in sg.ng.symbols(&patterns[kp]) {
+            h[sym as usize] += 1.0;
+        }
+        let n = sg.ng.values.len() as f32;
+        for x in &mut h {
+            *x /= n;
+        }
+        (kp, h)
+    });
+    let mut usage = vec![0u64; patterns.len()];
+    let mut hists: Vec<Vec<Vec<f32>>> = vec![Vec::new(); patterns.len()];
+    for (kp, h) in assigned {
+        usage[kp] += 1;
+        hists[kp].push(h);
+    }
+
+    // Steps 6–7: H codebooks per pattern from clustered histograms, one
+    // independently-seeded job per pattern.
+    let books = map_ordered(parallel, &hists, |kp, pattern_hists| {
+        build_books(pattern_hists, cfg.books_per_pattern, cfg.seed ^ kp as u64)
+    });
+
+    // Pattern-id code from usage frequencies (+1 smoothing keeps every
+    // pattern encodable).
+    let smoothed: Vec<u64> = usage.iter().map(|&u| u + 1).collect();
+    let pattern_code =
+        Codebook::from_frequencies(&smoothed, 1, 15).expect("S ≤ 4096 fits 15-bit codes");
+
+    let len_tables = empty_len_tables(books.len());
+    TensorMetadata {
+        tensor_scale,
+        patterns,
+        books,
+        pattern_code,
+        id_hf_bits: cfg.id_hf_bits(),
+        group_size: cfg.group_size,
+        len_tables,
+    }
+}
+
+/// One unbuilt cache slot per pattern.
+fn empty_len_tables(patterns: usize) -> Vec<OnceLock<Arc<MultiLenTable>>> {
+    (0..patterns).map(|_| OnceLock::new()).collect()
 }
 
 fn select_pattern(
@@ -338,6 +486,21 @@ fn build_books(hists: &[Vec<f32>], h: usize, seed: u64) -> Vec<Codebook> {
 mod tests {
     use super::*;
     use ecco_tensor::{synth::SynthSpec, TensorKind};
+    use proptest::prelude::*;
+
+    /// Field-by-field bit-identity check between two calibrations.
+    fn assert_meta_identical(a: &TensorMetadata, b: &TensorMetadata) {
+        assert_eq!(a.tensor_scale, b.tensor_scale, "tensor scale");
+        assert_eq!(a.patterns, b.patterns, "shared patterns");
+        assert_eq!(a.books, b.books, "codebooks");
+        assert_eq!(
+            a.pattern_code.lengths(),
+            b.pattern_code.lengths(),
+            "pattern code"
+        );
+        assert_eq!(a.id_hf_bits, b.id_hf_bits);
+        assert_eq!(a.group_size, b.group_size);
+    }
 
     fn small_cfg() -> EccoConfig {
         EccoConfig {
@@ -436,5 +599,81 @@ mod tests {
     #[should_panic(expected = "at least one calibration tensor")]
     fn empty_calibration_rejected() {
         TensorMetadata::calibrate(&[], &small_cfg(), PatternSelector::MseOptimal);
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible by group size")]
+    fn ragged_tensor_rejected() {
+        // A tensor whose length is not a multiple of 128 must be refused,
+        // not silently truncated to whole groups.
+        let t = ecco_tensor::Tensor::from_vec(3, 100, vec![0.5; 300]);
+        TensorMetadata::calibrate(&[&t], &small_cfg(), PatternSelector::MseOptimal);
+    }
+
+    #[test]
+    fn parallel_calibration_bit_identical_to_sequential() {
+        let a = weight_tensor(6);
+        let b = weight_tensor(7);
+        let par = TensorMetadata::calibrate(&[&a, &b], &small_cfg(), PatternSelector::MseOptimal);
+        let seq = TensorMetadata::calibrate_weighted_seq(
+            &[&a, &b],
+            None,
+            &small_cfg(),
+            PatternSelector::MseOptimal,
+        );
+        assert_meta_identical(&par, &seq);
+    }
+
+    #[test]
+    fn weighted_parallel_calibration_bit_identical_to_sequential() {
+        let t = weight_tensor(8);
+        let mags: Vec<f32> = (0..t.cols())
+            .map(|c| 0.1 + (c % 13) as f32 * 0.05)
+            .collect();
+        let mag_refs: Vec<&[f32]> = vec![&mags];
+        let par = TensorMetadata::calibrate_weighted(
+            &[&t],
+            Some(&mag_refs),
+            &small_cfg(),
+            PatternSelector::MseOptimal,
+        );
+        let seq = TensorMetadata::calibrate_weighted_seq(
+            &[&t],
+            Some(&mag_refs),
+            &small_cfg(),
+            PatternSelector::MseOptimal,
+        );
+        assert_meta_identical(&par, &seq);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(6))]
+        #[test]
+        fn calibration_parallel_seq_differential(
+            seed in 0u64..1000,
+            kind_kv in any::<bool>(),
+            weighted in any::<bool>(),
+            minmax in any::<bool>(),
+        ) {
+            let kind = if kind_kv { TensorKind::KCache } else { TensorKind::Weight };
+            let t = SynthSpec::for_kind(kind, 8, 512).seeded(seed).generate();
+            let cfg = EccoConfig {
+                num_patterns: 4,
+                books_per_pattern: 2,
+                max_calibration_groups: 24,
+                ..EccoConfig::default()
+            };
+            let selector = if minmax {
+                PatternSelector::MinMax
+            } else {
+                PatternSelector::MseOptimal
+            };
+            let mags: Vec<f32> = (0..t.cols()).map(|c| 0.05 + (c % 7) as f32 * 0.1).collect();
+            let mag_refs: Vec<&[f32]> = vec![&mags];
+            let col_mags = if weighted { Some(&mag_refs[..]) } else { None };
+            let par = TensorMetadata::calibrate_weighted(&[&t], col_mags, &cfg, selector);
+            let seq = TensorMetadata::calibrate_weighted_seq(&[&t], col_mags, &cfg, selector);
+            assert_meta_identical(&par, &seq);
+        }
     }
 }

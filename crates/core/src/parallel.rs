@@ -38,6 +38,35 @@ pub fn shard_groups(total: usize) -> usize {
     total.div_ceil(rayon::current_num_threads()).max(1)
 }
 
+/// Maps `f(index, item)` over `items` across the rayon pool, returning the
+/// results in item order — exactly what the sequential
+/// `items.iter().enumerate().map(..)` would produce, in the same order.
+///
+/// Sharding follows [`shard_groups`] (one contiguous run per worker), so
+/// calibration steps built on this helper stay bit-identical to their
+/// sequential references no matter the pool size. This is the primitive
+/// behind the parallel stages of
+/// [`TensorMetadata::calibrate_weighted`](crate::TensorMetadata::calibrate_weighted).
+pub fn par_map_indexed<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let shard = shard_groups(items.len());
+    let ranges: Vec<(usize, usize)> = (0..items.len().div_ceil(shard))
+        .map(|w| (w * shard, ((w + 1) * shard).min(items.len())))
+        .collect();
+    let parts: Vec<Vec<R>> = ranges
+        .par_iter()
+        .map(|&(lo, hi)| (lo..hi).map(|i| f(i, &items[i])).collect())
+        .collect();
+    parts.into_iter().flatten().collect()
+}
+
 /// Encodes every `meta.group_size`-value group of `tensor` into blocks,
 /// in parallel, returning the blocks in group order plus merged encoding
 /// statistics (including round-trip error, as [`crate::WeightCodec::compress`]

@@ -1,6 +1,6 @@
 //! Shared k-means patterns (steps 3–4 of the paper's Figure 4).
 
-use ecco_kmeans::{fit_scalar, fit_vectors, nearest_sorted, KmeansConfig};
+use ecco_kmeans::{fit_scalar, fit_vectors, nearest_sorted, KmeansConfig, ScalarFit};
 use serde::{Deserialize, Serialize};
 
 /// Centroids per pattern: 15 (symbol 15 is reserved for the group absmax).
@@ -46,11 +46,22 @@ impl KmeansPattern {
     /// weighted 1-D k-means (paper step 3). `weights` carries the
     /// activation-aware importance; `None` = uniform.
     pub fn from_group(values: &[f32], weights: Option<&[f32]>, seed: u64) -> KmeansPattern {
-        let fit = fit_scalar(
+        KmeansPattern::from_fit(&fit_scalar(
             values,
             weights,
             &KmeansConfig::with_k(NUM_CENTROIDS).seeded(seed),
-        );
+        ))
+    }
+
+    /// Wraps a finished 15-cluster scalar fit — the constructor the
+    /// batched (rayon-parallel) calibration path uses after
+    /// [`ecco_kmeans::fit_scalar_batch`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fit does not hold exactly [`NUM_CENTROIDS`] centroids.
+    pub fn from_fit(fit: &ScalarFit) -> KmeansPattern {
+        assert_eq!(fit.centroids.len(), NUM_CENTROIDS, "need a 15-cluster fit");
         let mut centroids = [0f32; NUM_CENTROIDS];
         centroids.copy_from_slice(&fit.centroids);
         KmeansPattern { centroids }

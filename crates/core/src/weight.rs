@@ -98,6 +98,11 @@ impl WeightCodec {
     /// Pile; this reproduction uses the tensors themselves or synthetic
     /// calibration tensors of the same distribution.
     ///
+    /// The per-group k-means fits and statistics collection run across
+    /// the rayon pool; the result is bit-identical to the sequential
+    /// reference regardless of thread count (see
+    /// [`TensorMetadata::calibrate`]).
+    ///
     /// # Panics
     ///
     /// Panics if `tensors` is empty or shapes are not multiples of 128.
@@ -110,7 +115,8 @@ impl WeightCodec {
 
     /// Activation-aware calibration (the paper's step 3): per-group
     /// k-means and pattern selection are weighted by the squared mean
-    /// |activation| of each weight's input channel.
+    /// |activation| of each weight's input channel. Parallel and
+    /// deterministic, like [`WeightCodec::calibrate`].
     ///
     /// # Panics
     ///

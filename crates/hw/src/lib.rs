@@ -15,6 +15,24 @@
 //! * [`pipeline`] — stage/latency accounting (28-cycle decompression,
 //!   62-cycle compression, 20 replicas matching 5120 B/clk L2 peak),
 //! * [`area`] — the gate-count area/power model behind Table 3.
+//!
+//! # Examples
+//!
+//! Decode a compressed tensor's blocks through the hardware decoder model
+//! and check it agrees with the reference codec bit for bit:
+//!
+//! ```
+//! use ecco_core::{EccoConfig, WeightCodec};
+//! use ecco_tensor::{synth::SynthSpec, TensorKind};
+//!
+//! let t = SynthSpec::for_kind(TensorKind::Weight, 8, 256).generate();
+//! let codec = WeightCodec::calibrate(&[&t], &EccoConfig::default());
+//! let (ct, _) = codec.compress_parallel(&t);
+//!
+//! let meta = codec.metadata().with_scale(ct.tensor_scale());
+//! let hw_values = ecco_hw::decode_blocks_parallel(ct.blocks(), &meta).unwrap();
+//! assert_eq!(hw_values, codec.decompress_parallel(&ct).data());
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -29,7 +29,7 @@
 //!    codebook's [`SegmentLut`] (a `2^15`-entry table mapping a window to
 //!    its packed chain of up to four `(symbol, end)` pairs — layout in
 //!    [`ecco_entropy::lut`]). The chain is truncated to the entry offset's
-//!    bit budget by index math only, yielding a fixed-size [`SegRecord`]
+//!    bit budget by index math only, yielding a fixed-size `SegRecord`
 //!    (symbols inline, no heap) in a stack table of 64×8 records.
 //!
 //! 2. **EOP chaining.** The concatenation tree's fixed point is computed

@@ -231,7 +231,7 @@ pub mod prop {
     pub mod collection {
         use super::super::*;
 
-        /// Length specification for [`vec`]: a fixed size or a range.
+        /// Length specification for [`vec()`]: a fixed size or a range.
         pub trait SizeRange {
             /// Draws a length.
             fn pick(&self, rng: &mut TestRng) -> usize;
