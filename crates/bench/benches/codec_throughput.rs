@@ -14,10 +14,14 @@
 //!
 //! `BENCH_encode.json` covers the compress-side hot path:
 //!
+//! * `pattern_select` — the fused single-sweep pattern selection (sorted
+//!   group + boundary-table merge in a reused `GroupScratch`) vs the
+//!   pinned per-pattern reference `select_pattern_ref`,
 //! * `book_selection` — the packed-lane single-pass codebook selection
 //!   (the cached `MultiLenTable` path `encode_group` uses) vs the H-pass
 //!   `encoded_len`-per-book baseline,
-//! * `encode` — full `encode_group` and the parallel encode pipeline,
+//! * `encode` — full `encode_group_scratch` and the parallel encode
+//!   pipeline,
 //! * `calibration` — rayon-parallel `TensorMetadata::calibrate` vs the
 //!   pinned sequential reference `calibrate_weighted_seq`.
 
@@ -25,7 +29,8 @@ use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use ecco_bits::Block64;
 use ecco_core::parallel::encode_groups_parallel_unchecked;
 use ecco_core::{
-    decode_group, encode_group, normalize_group, EccoConfig, PatternSelector, TensorMetadata,
+    decode_group, encode_group, encode_group_scratch, normalize_group, select_pattern_ref,
+    EccoConfig, GroupScratch, NormalizedGroup, PatternSelector, TensorMetadata,
 };
 use ecco_tensor::Tensor;
 use std::hint::black_box;
@@ -208,6 +213,35 @@ fn write_encode_json(t: &Tensor, meta: &TensorMetadata, cfg: &EccoConfig) {
     let n_groups = symbol_sets.len();
     let symbols = (n_groups * GROUP) as f64;
 
+    // Pattern selection: the fused single-sweep engine (sorted group +
+    // boundary-table merge, winner symbols recorded in the scratch) vs
+    // the pinned reference that scores each pattern independently.
+    // Normalization is precomputed so both timings isolate selection.
+    let ngs: Vec<NormalizedGroup> = t
+        .groups(GROUP)
+        .map(|g| normalize_group(g, meta.tensor_scale))
+        .collect();
+    let ref_select_ns = time_ns(|| {
+        for ng in &ngs {
+            black_box(select_pattern_ref(
+                &meta.patterns,
+                black_box(ng),
+                None,
+                PatternSelector::MseOptimal,
+            ));
+        }
+    });
+    let mut scratch = GroupScratch::new();
+    let fused_select_ns = time_ns(|| {
+        for ng in &ngs {
+            black_box(meta.select_pattern_scratch(
+                black_box(ng),
+                PatternSelector::MseOptimal,
+                &mut scratch,
+            ));
+        }
+    });
+
     // Codebook selection: H separate `encoded_len` sweeps (the pre-PR
     // baseline) vs one packed-lane pass.
     let h_pass_ns = time_ns(|| {
@@ -230,13 +264,15 @@ fn write_encode_json(t: &Tensor, meta: &TensorMetadata, cfg: &EccoConfig) {
         }
     });
 
-    // Full group encode, sequential and through the rayon pipeline.
+    // Full group encode (the scratch-threaded hot path every codec loop
+    // uses), sequential and through the rayon pipeline.
     let encode_ns = time_ns(|| {
         for g in t.groups(GROUP) {
-            black_box(encode_group(
+            black_box(encode_group_scratch(
                 black_box(g),
                 meta,
                 PatternSelector::MseOptimal,
+                &mut scratch,
             ));
         }
     });
@@ -268,12 +304,17 @@ fn write_encode_json(t: &Tensor, meta: &TensorMetadata, cfg: &EccoConfig) {
     });
 
     let per_s = |ns: f64| symbols / ns * 1e9;
+    let selections_per_s = |ns: f64| n_groups as f64 / ns * 1e9;
     let json = format!(
         "{{\n  \
          \"bench\": \"encode_throughput\",\n  \
          \"blocks\": {n_groups},\n  \
          \"group_size\": {GROUP},\n  \
          \"threads\": {threads},\n  \
+         \"pattern_select\": {{\n    \
+           \"reference_selections_per_s\": {ref_sel:.0},\n    \
+           \"fused_selections_per_s\": {fused_sel:.0},\n    \
+           \"fused_vs_reference_speedup\": {sel_fused_speedup:.2}\n  }},\n  \
          \"book_selection\": {{\n    \
            \"h_pass_baseline_syms_per_s\": {hp:.0},\n    \
            \"single_pass_syms_per_s\": {sp:.0},\n    \
@@ -286,6 +327,9 @@ fn write_encode_json(t: &Tensor, meta: &TensorMetadata, cfg: &EccoConfig) {
            \"parallel_ms\": {cal_par:.2},\n    \
            \"parallel_vs_sequential_speedup\": {cal_speedup:.2}\n  }}\n}}\n",
         threads = rayon::current_num_threads(),
+        ref_sel = selections_per_s(ref_select_ns),
+        fused_sel = selections_per_s(fused_select_ns),
+        sel_fused_speedup = ref_select_ns / fused_select_ns,
         hp = per_s(h_pass_ns),
         sp = per_s(single_pass_ns),
         sel_speedup = h_pass_ns / single_pass_ns,
@@ -299,7 +343,9 @@ fn write_encode_json(t: &Tensor, meta: &TensorMetadata, cfg: &EccoConfig) {
     std::fs::write(path, &json).expect("write BENCH_encode.json");
     println!("\nBENCH_encode.json:\n{json}");
     println!(
-        "single-pass codebook selection is {:.1}x the H-pass baseline on identical inputs",
+        "fused pattern selection is {:.1}x the reference; single-pass codebook \
+         selection is {:.1}x the H-pass baseline on identical inputs",
+        ref_select_ns / fused_select_ns,
         h_pass_ns / single_pass_ns
     );
 }

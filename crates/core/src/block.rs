@@ -21,6 +21,7 @@ use ecco_numerics::F8E4M3;
 use crate::group::normalize_group;
 use crate::metadata::{PatternSelector, TensorMetadata};
 use crate::pattern::SCALE_SYMBOL;
+use crate::select::{with_thread_scratch, GroupScratch};
 
 /// Bits per padded outlier: 7-bit position + 8-bit FP8 value.
 pub const OUTLIER_BITS: usize = 15;
@@ -65,7 +66,10 @@ impl std::fmt::Display for DecodeError {
 
 impl std::error::Error for DecodeError {}
 
-/// Compresses one 128-value group into a 64-byte block.
+/// Compresses one 128-value group into a 64-byte block, using the
+/// calling thread's shared [`GroupScratch`]. Hot loops that encode many
+/// groups should hold their own scratch and call
+/// [`encode_group_scratch`] instead (same bits, explicit reuse).
 ///
 /// # Panics
 ///
@@ -75,15 +79,54 @@ pub fn encode_group(
     meta: &TensorMetadata,
     selector: PatternSelector,
 ) -> (Block64, EncodedGroupInfo) {
-    assert_eq!(group.len(), meta.group_size, "group size mismatch");
-    let ng = normalize_group(group, meta.tensor_scale);
-    let kp = meta.select_pattern(&ng, selector);
-    encode_group_impl(group, &ng, meta, kp)
+    with_thread_scratch(|s| encode_group_scratch(group, meta, selector, s))
 }
 
-/// Compresses one group with an explicitly chosen shared pattern — used
-/// by the activation-aware weight path, where pattern selection minimizes
-/// the *weighted* error (the weights live outside the block format).
+/// Compresses one group through a caller-provided [`GroupScratch`]: the
+/// fused sweep selects the pattern *and* quantizes the group in one pass
+/// over its sorted values, and the winner's symbols are emitted straight
+/// from the scratch — no per-group selection allocation, no
+/// re-quantization.
+///
+/// # Panics
+///
+/// Panics if `group.len() != meta.group_size`.
+pub fn encode_group_scratch(
+    group: &[f32],
+    meta: &TensorMetadata,
+    selector: PatternSelector,
+    scratch: &mut GroupScratch,
+) -> (Block64, EncodedGroupInfo) {
+    assert_eq!(group.len(), meta.group_size, "group size mismatch");
+    let ng = normalize_group(group, meta.tensor_scale);
+    let kp = meta.select_pattern_scratch(&ng, selector, scratch);
+    encode_group_full(group, &ng, meta, kp, scratch, true)
+}
+
+/// Fused activation-aware compression of one group: selects the pattern
+/// minimizing the *weighted* squared error (`group_w2[i]` = squared
+/// channel magnitude of value `i`) and encodes with the winner's symbols
+/// from the same sweep — the offline weight path's hot loop.
+///
+/// # Panics
+///
+/// Panics if `group.len() != meta.group_size` or `group_w2` is shorter
+/// than the group.
+pub fn encode_group_weighted_scratch(
+    group: &[f32],
+    meta: &TensorMetadata,
+    group_w2: &[f32],
+    scratch: &mut GroupScratch,
+) -> (Block64, EncodedGroupInfo) {
+    assert_eq!(group.len(), meta.group_size, "group size mismatch");
+    let ng = normalize_group(group, meta.tensor_scale);
+    let kp = meta.select_pattern_weighted_scratch(&ng, group_w2, scratch);
+    encode_group_full(group, &ng, meta, kp, scratch, true)
+}
+
+/// Compresses one group with an explicitly chosen shared pattern — kept
+/// for callers that computed the pattern id out of band (hardware models,
+/// ablations). Uses the calling thread's shared scratch.
 ///
 /// # Panics
 ///
@@ -96,7 +139,11 @@ pub fn encode_group_with_pattern(
     assert_eq!(group.len(), meta.group_size, "group size mismatch");
     assert!(kp < meta.patterns.len(), "pattern id out of range");
     let ng = normalize_group(group, meta.tensor_scale);
-    encode_group_impl(group, &ng, meta, kp)
+    with_thread_scratch(|scratch| {
+        scratch.load_group(&ng);
+        scratch.quantize(&meta.patterns[kp], &meta.boundaries()[kp]);
+        encode_group_full(group, &ng, meta, kp, scratch, true)
+    })
 }
 
 /// Compresses one group with outlier padding disabled — leftover block
@@ -107,19 +154,24 @@ pub fn encode_group_unpadded(
     meta: &TensorMetadata,
     selector: PatternSelector,
 ) -> (Block64, EncodedGroupInfo) {
-    assert_eq!(group.len(), meta.group_size, "group size mismatch");
-    let ng = normalize_group(group, meta.tensor_scale);
-    let kp = meta.select_pattern(&ng, selector);
-    encode_group_full(group, &ng, meta, kp, false)
+    with_thread_scratch(|s| encode_group_unpadded_scratch(group, meta, selector, s))
 }
 
-fn encode_group_impl(
+/// [`encode_group_unpadded`] through a caller-provided scratch.
+///
+/// # Panics
+///
+/// Panics if `group.len() != meta.group_size`.
+pub fn encode_group_unpadded_scratch(
     group: &[f32],
-    ng: &crate::group::NormalizedGroup,
     meta: &TensorMetadata,
-    kp: usize,
+    selector: PatternSelector,
+    scratch: &mut GroupScratch,
 ) -> (Block64, EncodedGroupInfo) {
-    encode_group_full(group, ng, meta, kp, true)
+    assert_eq!(group.len(), meta.group_size, "group size mismatch");
+    let ng = normalize_group(group, meta.tensor_scale);
+    let kp = meta.select_pattern_scratch(&ng, selector, scratch);
+    encode_group_full(group, &ng, meta, kp, scratch, false)
 }
 
 fn encode_group_full(
@@ -127,12 +179,12 @@ fn encode_group_full(
     ng: &crate::group::NormalizedGroup,
     meta: &TensorMetadata,
     kp: usize,
+    scratch: &mut GroupScratch,
     pad_outliers: bool,
 ) -> (Block64, EncodedGroupInfo) {
-    let pattern = &meta.patterns[kp];
-
-    // Symbol assignment (step 5).
-    let symbols = ng.symbols(pattern);
+    // Symbol assignment (step 5): the fused sweep already quantized the
+    // group; scatter the winner's symbols back to group order.
+    let symbols: &[u16] = scratch.scatter(meta.group_size);
 
     // Step 8: pick the codebook with the shortest total encoding — a
     // single pass over the symbols with packed per-symbol length lanes
@@ -140,12 +192,12 @@ fn encode_group_full(
     // of H separate `encoded_len` sweeps. Totals are exact and ties
     // resolve to the lowest book index, so the choice is bit-identical
     // to the multi-sweep baseline. The packed table is cached per
-    // pattern in the metadata; un-rebuilt deserialized metadata falls
-    // back to packing on the fly.
+    // pattern in the metadata (self-healing after deserialization); the
+    // pack-on-the-fly arm only guards an out-of-range pattern id.
     let books = &meta.books[kp];
     let (book_id, data_len) = match meta.len_table(kp) {
-        Some(table) => table.best(&symbols),
-        None => ecco_entropy::MultiLenTable::new(books).best(&symbols),
+        Some(table) => table.best(symbols),
+        None => ecco_entropy::MultiLenTable::new(books).best(symbols),
     };
     let book = &books[book_id];
 
@@ -168,7 +220,7 @@ fn encode_group_full(
 
     if data_len <= budget {
         // Everything fits: write all symbols, then pad outliers (step 9).
-        for &s in &symbols {
+        for &s in symbols {
             book.encode_symbol(&mut w, s);
         }
         info.data_bits = data_len;
@@ -188,7 +240,7 @@ fn encode_group_full(
         // Clip: truncate the code stream mid-code at bit 512 (paper: "we
         // simply clip the excess").
         let mut full = 0usize;
-        'outer: for &s in &symbols {
+        'outer: for &s in symbols {
             let len = book.code_len(s) as usize;
             let code = book.code(s) as u64;
             let room = BLOCK_BITS - w.bit_len();

@@ -14,9 +14,10 @@
 use ecco_tensor::Tensor;
 use serde::{Deserialize, Serialize};
 
-use crate::block::{decode_group, encode_group};
+use crate::block::{decode_group, encode_group_scratch};
 use crate::metadata::{PatternSelector, TensorMetadata};
 use crate::metrics::CodecStats;
+use crate::select::GroupScratch;
 use crate::weight::CompressedTensor;
 use crate::EccoConfig;
 
@@ -99,8 +100,10 @@ impl KvCodec {
         let meta = self.meta.with_scale(scale);
         let mut stats = CodecStats::default();
         let mut blocks = Vec::with_capacity(tensor.len() / meta.group_size);
+        // One fused-selection scratch reused across the tensor's groups.
+        let mut scratch = GroupScratch::new();
         for g in tensor.groups(meta.group_size) {
-            let (block, info) = encode_group(g, &meta, selector);
+            let (block, info) = encode_group_scratch(g, &meta, selector, &mut scratch);
             stats.record(&info, meta.group_size);
             let (out, _) = decode_group(&block, &meta).expect("own blocks decode");
             stats.record_error(g, &out);

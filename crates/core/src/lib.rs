@@ -36,7 +36,10 @@
 //!   [`TensorMetadata::calibrate_weighted_seq`] by differential proptests,
 //! * whole-tensor compress/decompress ([`WeightCodec::compress_parallel`]
 //!   / [`WeightCodec::decompress_parallel`]) shard the independent
-//!   64-byte blocks (see [`parallel`]).
+//!   64-byte blocks (see [`parallel`]),
+//! * per-group pattern selection + quantization run as one fused sweep
+//!   over a reusable [`GroupScratch`] (see [`select`]) — pinned against
+//!   the reference [`select_pattern_ref`] by differential proptests.
 //!
 //! # Quick start
 //!
@@ -73,12 +76,14 @@ pub mod metadata;
 pub mod metrics;
 pub mod parallel;
 pub mod pattern;
+pub mod select;
 pub mod weight;
 
 pub use activation::{ActivationBlock, ActivationCodec};
 pub use adaptive::{AdaptiveBlock, AdaptiveCodec, AdaptivePolicy, AdaptiveStats, AdaptiveTensor};
 pub use block::{
-    decode_group, encode_group, encode_group_unpadded, encode_group_with_pattern,
+    decode_group, encode_group, encode_group_scratch, encode_group_unpadded,
+    encode_group_unpadded_scratch, encode_group_weighted_scratch, encode_group_with_pattern,
     parse_block_header, BlockHeader, EncodedGroupInfo,
 };
 pub use group::{normalize_group, NormalizedGroup};
@@ -86,7 +91,8 @@ pub use kv::KvCodec;
 pub use metadata::{PatternSelector, TensorMetadata};
 pub use metrics::CodecStats;
 pub use parallel::{decode_groups_parallel, encode_groups_parallel};
-pub use pattern::{KmeansPattern, NUM_CENTROIDS, SCALE_SYMBOL, SYMBOL_COUNT};
+pub use pattern::{KmeansPattern, PatternBoundaries, NUM_CENTROIDS, SCALE_SYMBOL, SYMBOL_COUNT};
+pub use select::{select_pattern_ref, GroupScratch};
 pub use weight::{CompressedTensor, WeightCodec};
 
 use serde::{Deserialize, Serialize};

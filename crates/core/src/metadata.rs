@@ -10,7 +10,10 @@ use ecco_tensor::Tensor;
 use serde::{Deserialize, Serialize};
 
 use crate::group::{normalize_group, NormalizedGroup};
-use crate::pattern::{shared_patterns, KmeansPattern, NUM_CENTROIDS, SYMBOL_COUNT};
+use crate::pattern::{
+    shared_patterns, KmeansPattern, PatternBoundaries, NUM_CENTROIDS, SCALE_SYMBOL, SYMBOL_COUNT,
+};
+use crate::select::{self, GroupScratch};
 use crate::EccoConfig;
 
 /// How a group picks its shared k-means pattern.
@@ -43,12 +46,22 @@ pub struct TensorMetadata {
     pub group_size: usize,
     /// Lazily-built packed length tables, one per pattern, for the
     /// encoder's single-pass codebook selection; shared (via `Arc`) by
-    /// clones made after first use. Not serialized — restored by
-    /// [`TensorMetadata::rebuild_tables`], like the codebook decode LUTs.
-    /// Replacing `books` by field access requires a `rebuild_tables` call
-    /// to stay coherent.
+    /// clones made after first use. Not serialized — the outer `OnceLock`
+    /// re-sizes the slot array from `books` on first access, so
+    /// deserialized metadata self-heals without a rebuild; replacing
+    /// `books` by field access requires
+    /// [`TensorMetadata::rebuild_tables`] to stay coherent (it also
+    /// restores the codebook decode LUTs, which do need it).
     #[serde(skip)]
-    len_tables: Vec<OnceLock<Arc<MultiLenTable>>>,
+    len_tables: OnceLock<Vec<OnceLock<Arc<MultiLenTable>>>>,
+    /// Lazily-built per-pattern decision boundaries (the 14 centroid
+    /// midpoints) for the encoder's fused selection sweep; shared (via
+    /// `Arc`) by clones made after first use. Not serialized — derived
+    /// from `patterns` on first access, so deserialized metadata works
+    /// without a rebuild; replacing `patterns` by field access requires
+    /// [`TensorMetadata::rebuild_tables`] to stay coherent.
+    #[serde(skip)]
+    bounds: OnceLock<Arc<Vec<PatternBoundaries>>>,
 }
 
 impl TensorMetadata {
@@ -123,15 +136,65 @@ impl TensorMetadata {
         calibrate_impl(tensors, col_mags, cfg, selector, false)
     }
 
-    /// Picks the pattern for a normalized group under `selector`.
+    /// Picks the pattern for a normalized group under `selector`, through
+    /// the fused single-sweep engine on a thread-local scratch — no
+    /// per-call allocation. Prefer [`TensorMetadata::select_pattern_scratch`]
+    /// on hot loops that already hold a [`GroupScratch`].
     pub fn select_pattern(&self, ng: &NormalizedGroup, selector: PatternSelector) -> usize {
-        select_pattern(&self.patterns, ng, selector)
+        select::with_thread_scratch(|s| self.select_pattern_scratch(ng, selector, s))
+    }
+
+    /// Fused selection into a caller-provided scratch: sorts the group
+    /// once, scores every pattern with one sorted merge each, and leaves
+    /// the winner's symbols in `scratch` for the encoder to emit directly
+    /// (see [`crate::select`]). Bit-identical to
+    /// [`TensorMetadata::select_pattern_ref`].
+    pub fn select_pattern_scratch(
+        &self,
+        ng: &NormalizedGroup,
+        selector: PatternSelector,
+        scratch: &mut GroupScratch,
+    ) -> usize {
+        scratch.load_group(ng);
+        scratch.select(&self.patterns, self.boundaries(), selector)
     }
 
     /// Picks the pattern minimizing the activation-weighted squared error
-    /// (`group_w2[i]` = squared channel magnitude of value `i`).
+    /// (`group_w2[i]` = squared channel magnitude of value `i`), through
+    /// the fused engine on a thread-local scratch.
     pub fn select_pattern_weighted(&self, ng: &NormalizedGroup, group_w2: &[f32]) -> usize {
-        select_pattern_weighted(&self.patterns, ng, group_w2)
+        select::with_thread_scratch(|s| self.select_pattern_weighted_scratch(ng, group_w2, s))
+    }
+
+    /// Weighted counterpart of [`TensorMetadata::select_pattern_scratch`].
+    pub fn select_pattern_weighted_scratch(
+        &self,
+        ng: &NormalizedGroup,
+        group_w2: &[f32],
+        scratch: &mut GroupScratch,
+    ) -> usize {
+        scratch.load_group_weighted(ng, group_w2);
+        scratch.select_weighted(&self.patterns, self.boundaries())
+    }
+
+    /// The pinned reference selection — see [`select::select_pattern_ref`].
+    /// The fused paths above must stay bit-identical to this.
+    pub fn select_pattern_ref(&self, ng: &NormalizedGroup, selector: PatternSelector) -> usize {
+        select::select_pattern_ref(&self.patterns, ng, None, selector)
+    }
+
+    /// The per-pattern decision-boundary tables (14 centroid midpoints
+    /// each) behind the fused selection sweep — built from `patterns` on
+    /// first use and shared (via `Arc`) by every clone made after that.
+    pub fn boundaries(&self) -> &[PatternBoundaries] {
+        self.bounds.get_or_init(|| {
+            Arc::new(
+                self.patterns
+                    .iter()
+                    .map(KmeansPattern::boundaries)
+                    .collect(),
+            )
+        })
     }
 
     /// Returns a copy bound to a different per-tensor FP16→FP8 scale.
@@ -150,13 +213,14 @@ impl TensorMetadata {
 
     /// The packed per-symbol length table for pattern `kp`'s codebooks —
     /// the encoder's single-pass selection primitive — built on first use
-    /// and shared (via `Arc`) by every clone made after that.
+    /// and shared (via `Arc`) by every clone made after that. The slot
+    /// array itself materializes lazily from `books`, so the cache works
+    /// (and self-heals) on freshly deserialized metadata too.
     ///
-    /// Returns `None` when the cache slot is missing (deserialized
-    /// metadata before [`TensorMetadata::rebuild_tables`]); callers fall
-    /// back to building the table per call.
+    /// Returns `None` only for an out-of-range `kp`.
     pub fn len_table(&self, kp: usize) -> Option<&MultiLenTable> {
         self.len_tables
+            .get_or_init(|| empty_len_tables(self.books.len()))
             .get(kp)
             .map(|slot| &**slot.get_or_init(|| Arc::new(MultiLenTable::new(&self.books[kp]))))
     }
@@ -202,7 +266,8 @@ impl TensorMetadata {
             }
         }
         self.pattern_code.rebuild_tables();
-        self.len_tables = empty_len_tables(self.books.len());
+        self.len_tables = OnceLock::new();
+        self.bounds = OnceLock::new();
     }
 }
 
@@ -349,27 +414,29 @@ fn calibrate_impl(
 
     // Step 5 (on the calibration set): assign each group a pattern and
     // build its symbol histogram in parallel, then merge in group order —
-    // the same order the sequential loop pushes in.
+    // the same order the sequential loop pushes in. Assignment runs the
+    // same fused boundary-table sweep the encoder uses, so
+    // calibration-time pattern choices match compression-time choices
+    // exactly, and the winner's symbols feed the histogram directly.
+    let bounds: Vec<PatternBoundaries> = patterns.iter().map(KmeansPattern::boundaries).collect();
     let assigned: Vec<(usize, Vec<f32>)> = map_ordered(parallel, &sampled, |_, sg| {
-        let kp = match (&sg.wts, selector) {
-            (Some(wts), _) => argmin(patterns.iter().map(|p| p.weighted_sq_error(&sg.vals, wts))),
-            (None, PatternSelector::MseOptimal) => {
-                argmin(patterns.iter().map(|p| p.sq_error(&sg.vals)))
+        crate::select::with_thread_scratch(|scratch| {
+            scratch.load_values(&sg.vals, sg.wts.as_deref());
+            let kp = match (&sg.wts, selector) {
+                (Some(_), _) => scratch.select_weighted(&patterns, &bounds),
+                (None, sel) => scratch.select(&patterns, &bounds, sel),
+            };
+            let mut h = vec![0f32; SYMBOL_COUNT];
+            h[SCALE_SYMBOL as usize] += 1.0; // the absmax position
+            for &sym in scratch.winner_symbols() {
+                h[sym as usize] += 1.0;
             }
-            (None, PatternSelector::MinMax) => {
-                let (lo, hi) = sg.ng.minmax_excluding_max();
-                argmin(patterns.iter().map(|p| p.minmax_fitness(lo, hi)))
+            let n = sg.ng.values.len() as f32;
+            for x in &mut h {
+                *x /= n;
             }
-        };
-        let mut h = vec![0f32; SYMBOL_COUNT];
-        for sym in sg.ng.symbols(&patterns[kp]) {
-            h[sym as usize] += 1.0;
-        }
-        let n = sg.ng.values.len() as f32;
-        for x in &mut h {
-            *x /= n;
-        }
-        (kp, h)
+            (kp, h)
+        })
     });
     let mut usage = vec![0u64; patterns.len()];
     let mut hists: Vec<Vec<Vec<f32>>> = vec![Vec::new(); patterns.len()];
@@ -390,7 +457,6 @@ fn calibrate_impl(
     let pattern_code =
         Codebook::from_frequencies(&smoothed, 1, 15).expect("S ≤ 4096 fits 15-bit codes");
 
-    let len_tables = empty_len_tables(books.len());
     TensorMetadata {
         tensor_scale,
         patterns,
@@ -398,63 +464,14 @@ fn calibrate_impl(
         pattern_code,
         id_hf_bits: cfg.id_hf_bits(),
         group_size: cfg.group_size,
-        len_tables,
+        len_tables: OnceLock::new(),
+        bounds: OnceLock::new(),
     }
 }
 
 /// One unbuilt cache slot per pattern.
 fn empty_len_tables(patterns: usize) -> Vec<OnceLock<Arc<MultiLenTable>>> {
     (0..patterns).map(|_| OnceLock::new()).collect()
-}
-
-fn select_pattern(
-    patterns: &[KmeansPattern],
-    ng: &NormalizedGroup,
-    selector: PatternSelector,
-) -> usize {
-    match selector {
-        PatternSelector::MseOptimal => {
-            let vals: Vec<f32> = ng
-                .values
-                .iter()
-                .enumerate()
-                .filter(|&(j, _)| j != ng.max_pos)
-                .map(|(_, &v)| v)
-                .collect();
-            argmin(patterns.iter().map(|p| p.sq_error(&vals)))
-        }
-        PatternSelector::MinMax => {
-            let (lo, hi) = ng.minmax_excluding_max();
-            argmin(patterns.iter().map(|p| p.minmax_fitness(lo, hi)))
-        }
-    }
-}
-
-fn select_pattern_weighted(
-    patterns: &[KmeansPattern],
-    ng: &NormalizedGroup,
-    group_w2: &[f32],
-) -> usize {
-    let mut vals = Vec::with_capacity(ng.values.len() - 1);
-    let mut wts = Vec::with_capacity(ng.values.len() - 1);
-    for (j, &v) in ng.values.iter().enumerate() {
-        if j == ng.max_pos {
-            continue;
-        }
-        vals.push(v);
-        wts.push(group_w2[j]);
-    }
-    argmin(patterns.iter().map(|p| p.weighted_sq_error(&vals, &wts)))
-}
-
-fn argmin(scores: impl Iterator<Item = f64>) -> usize {
-    let mut best = (0usize, f64::INFINITY);
-    for (i, s) in scores.enumerate() {
-        if s < best.1 {
-            best = (i, s);
-        }
-    }
-    best.0
 }
 
 /// Clusters per-group symbol histograms into `h` representative
@@ -587,6 +604,26 @@ mod tests {
     }
 
     #[test]
+    fn caches_self_heal_after_rebuild() {
+        // rebuild_tables leaves the lazy caches in the same empty state
+        // deserialization does; both must rebuild themselves on first
+        // access instead of degrading to per-call table packing.
+        let t = weight_tensor(9);
+        let mut meta = TensorMetadata::calibrate(&[&t], &small_cfg(), PatternSelector::MseOptimal);
+        assert!(meta.len_table(0).is_some());
+        meta.rebuild_tables();
+        assert!(
+            meta.len_table(0).is_some(),
+            "len table cache must self-heal"
+        );
+        assert_eq!(meta.boundaries().len(), meta.num_patterns());
+        assert!(
+            meta.len_table(meta.num_patterns()).is_none(),
+            "out of range"
+        );
+    }
+
+    #[test]
     fn calibration_is_deterministic() {
         let t = weight_tensor(5);
         let a = TensorMetadata::calibrate(&[&t], &small_cfg(), PatternSelector::MseOptimal);
@@ -648,6 +685,45 @@ mod tests {
 
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(6))]
+        #[test]
+        fn fused_selection_matches_reference_on_calibrated_metadata(
+            seed in 0u64..500,
+            kind_kv in any::<bool>(),
+            minmax in any::<bool>(),
+            weighted in any::<bool>(),
+        ) {
+            use crate::select::{select_pattern_ref, GroupScratch};
+            let kind = if kind_kv { TensorKind::KCache } else { TensorKind::Weight };
+            let cal = SynthSpec::for_kind(kind, 8, 512).seeded(seed).generate();
+            let meta = TensorMetadata::calibrate(&[&cal], &small_cfg(), PatternSelector::MseOptimal);
+            // Compress a *different, larger-ranged* tensor under the same
+            // metadata so normalized values stray outside the patterns'
+            // centroid range (clipped symbols) — selection must still agree.
+            let mut t = SynthSpec::for_kind(kind, 8, 512).seeded(seed + 1).generate();
+            for x in t.data_mut() {
+                *x *= 3.0;
+            }
+            let selector = if minmax { PatternSelector::MinMax } else { PatternSelector::MseOptimal };
+            let w2: Vec<f32> = (0..meta.group_size).map(|i| 0.1 + (i % 9) as f32 * 0.2).collect();
+            let mut scratch = GroupScratch::new();
+            for g in t.groups(meta.group_size).take(24) {
+                let ng = normalize_group(g, meta.tensor_scale);
+                let (kp, kp_ref) = if weighted {
+                    (
+                        meta.select_pattern_weighted_scratch(&ng, &w2, &mut scratch),
+                        select_pattern_ref(&meta.patterns, &ng, Some(&w2), selector),
+                    )
+                } else {
+                    (
+                        meta.select_pattern_scratch(&ng, selector, &mut scratch),
+                        select_pattern_ref(&meta.patterns, &ng, None, selector),
+                    )
+                };
+                prop_assert_eq!(kp, kp_ref);
+                prop_assert_eq!(scratch.scatter(meta.group_size), &ng.symbols(&meta.patterns[kp])[..]);
+            }
+        }
+
         #[test]
         fn calibration_parallel_seq_differential(
             seed in 0u64..1000,

@@ -8,7 +8,7 @@
 //! This module shards the group/block array into one contiguous run per
 //! worker, encodes or decodes each run with thread-local buffers, and
 //! reassembles results in order, so output is bit-identical to the
-//! sequential paths ([`encode_group`]/[`decode_group`]).
+//! sequential paths ([`encode_group`](crate::block::encode_group)/[`decode_group`]).
 //!
 //! The hardware-model twin (batch decode through the speculative parallel
 //! decoder) lives in `ecco-hw::paradec::decode_blocks_parallel`, which
@@ -18,9 +18,10 @@ use ecco_bits::Block64;
 use ecco_tensor::Tensor;
 use rayon::prelude::*;
 
-use crate::block::{decode_group, encode_group, DecodeError, EncodedGroupInfo};
+use crate::block::{decode_group, encode_group_scratch, DecodeError, EncodedGroupInfo};
 use crate::metadata::{PatternSelector, TensorMetadata};
 use crate::metrics::CodecStats;
+use crate::select::GroupScratch;
 
 /// Worker threads the pipeline shards across (the rayon pool size).
 pub fn worker_threads() -> usize {
@@ -72,7 +73,8 @@ where
 /// statistics (including round-trip error, as [`crate::WeightCodec::compress`]
 /// reports).
 ///
-/// Bit-identical to calling [`encode_group`] sequentially per group.
+/// Bit-identical to calling [`encode_group`](crate::block::encode_group)
+/// sequentially per group.
 ///
 /// # Panics
 ///
@@ -93,8 +95,11 @@ pub fn encode_groups_parallel(
         .map(|run| {
             let mut blocks = Vec::with_capacity(run.len() / gs);
             let mut stats = CodecStats::default();
+            // One selection scratch per worker run: the fused sweep reuses
+            // its sorted-group and symbol buffers for every group here.
+            let mut scratch = GroupScratch::new();
             for g in run.chunks_exact(gs) {
-                let (block, info) = encode_group(g, meta, selector);
+                let (block, info) = encode_group_scratch(g, meta, selector, &mut scratch);
                 stats.record(&info, gs);
                 let (out, _) = decode_group(&block, meta).expect("own blocks decode");
                 stats.record_error(g, &out);
@@ -130,8 +135,9 @@ pub fn encode_groups_parallel_unchecked(
         .data()
         .par_chunks(shard)
         .map(|run| {
+            let mut scratch = GroupScratch::new();
             run.chunks_exact(gs)
-                .map(|g| encode_group(g, meta, selector))
+                .map(|g| encode_group_scratch(g, meta, selector, &mut scratch))
                 .collect()
         })
         .collect();
@@ -183,6 +189,7 @@ pub fn decode_groups_parallel(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::block::encode_group;
     use crate::EccoConfig;
     use ecco_tensor::{synth::SynthSpec, TensorKind};
 

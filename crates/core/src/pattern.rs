@@ -1,6 +1,9 @@
 //! Shared k-means patterns (steps 3–4 of the paper's Figure 4).
 
-use ecco_kmeans::{fit_scalar, fit_vectors, nearest_sorted, KmeansConfig, ScalarFit};
+use ecco_kmeans::{
+    fill_midpoints, fit_scalar, fit_vectors, nearest_by_midpoints, nearest_sorted, KmeansConfig,
+    ScalarFit,
+};
 use serde::{Deserialize, Serialize};
 
 /// Centroids per pattern: 15 (symbol 15 is reserved for the group absmax).
@@ -131,6 +134,70 @@ impl KmeansPattern {
     pub fn minmax_fitness(&self, group_min: f32, group_max: f32) -> f64 {
         ((self.min() - group_min) as f64).powi(2) + ((self.max() - group_max) as f64).powi(2)
     }
+
+    /// Precomputes this pattern's 14 decision boundaries for the encoder
+    /// hot path. `TensorMetadata` builds one table per shared pattern and
+    /// caches them next to the packed length tables.
+    pub fn boundaries(&self) -> PatternBoundaries {
+        let mut mids = [0f32; NUM_CENTROIDS - 1];
+        fill_midpoints(&self.centroids, &mut mids);
+        PatternBoundaries { mids }
+    }
+}
+
+/// The precomputed decision boundaries of one [`KmeansPattern`]: the 14
+/// centroid midpoints `(c[j] + c[j+1]) * 0.5`.
+///
+/// # The midpoint-boundary invariant
+///
+/// Quantization against a sorted pattern is fully described by its
+/// midpoints: value `x` maps to symbol `i` where `i` is the **count of
+/// midpoints strictly below `x`**. Because the centroids are sorted, the
+/// midpoints are non-decreasing, so the count can be read off by a
+/// branch-free scan ([`PatternBoundaries::nearest`]) or — when many
+/// values are quantized at once — by a single sorted merge of values
+/// against boundaries (the encoder's fused sweep in [`crate::select`]).
+///
+/// The rule pins every corner case deterministically:
+///
+/// * a value **exactly on a midpoint** takes the *lower* symbol,
+/// * **duplicate centroids**: values at/below the duplicated value take
+///   the *lowest* symbol among them, values strictly above the *highest*
+///   — the reconstructed centroid is identical either way,
+/// * **NaN** compares false against every midpoint and maps to symbol 0
+///   (the encode paths require finite inputs; this is a backstop, not a
+///   feature).
+///
+/// [`KmeansPattern::nearest`] recomputes the same midpoints per probe, so
+/// for every non-NaN `x`:
+///
+/// ```
+/// use ecco_core::KmeansPattern;
+///
+/// let p = KmeansPattern::new(core::array::from_fn(|i| (i as f32 - 7.0) / 8.0));
+/// let b = p.boundaries();
+/// for i in -20..=20 {
+///     let x = i as f32 * 0.06;
+///     assert_eq!(b.nearest(x), p.nearest(x));
+/// }
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PatternBoundaries {
+    mids: [f32; NUM_CENTROIDS - 1],
+}
+
+impl PatternBoundaries {
+    /// The non-decreasing midpoint values.
+    pub fn midpoints(&self) -> &[f32; NUM_CENTROIDS - 1] {
+        &self.mids
+    }
+
+    /// Symbol for `x` — a branch-free scan over the 14 boundaries,
+    /// bit-identical to [`KmeansPattern::nearest`] for non-NaN probes.
+    #[inline]
+    pub fn nearest(&self, x: f32) -> u16 {
+        nearest_by_midpoints(&self.mids, x) as u16
+    }
 }
 
 /// Clusters per-group patterns into `s` shared patterns (paper step 4).
@@ -217,7 +284,47 @@ mod tests {
         assert!(wide.minmax_fitness(-1.0, 1.0) < narrow.minmax_fitness(-1.0, 1.0));
     }
 
+    #[test]
+    fn boundaries_pin_ties_duplicates_and_nan() {
+        // Duplicate centroids (surplus k-means clusters) collapse to the
+        // lowest symbol; exact-midpoint probes take the lower symbol; NaN
+        // maps to symbol 0. Pattern and boundary table must agree.
+        let mut c = [0f32; NUM_CENTROIDS];
+        for (i, x) in c.iter_mut().enumerate() {
+            *x = match i {
+                0..=2 => -0.5, // triple duplicate
+                14 => 0.75,
+                _ => (i as f32 - 7.0) / 10.0,
+            };
+        }
+        let p = KmeansPattern::new(c);
+        let b = p.boundaries();
+        assert_eq!(p.nearest(-0.5), 0, "duplicate centroids pick the lowest");
+        assert_eq!(b.nearest(-0.5), 0);
+        let mid = (c[6] + c[7]) * 0.5;
+        assert_eq!(p.nearest(mid), 6, "exact midpoint ties low");
+        assert_eq!(b.nearest(mid), 6);
+        assert_eq!(p.nearest(f32::NAN), 0);
+        assert_eq!(b.nearest(f32::NAN), 0);
+        // Clipped values outside [min, max] land on the edge symbols.
+        assert_eq!(b.nearest(-7.0), 0);
+        assert_eq!(b.nearest(7.0), (NUM_CENTROIDS - 1) as u16);
+    }
+
     proptest! {
+        #[test]
+        fn boundary_table_matches_pattern_nearest(
+            vals in prop::collection::vec(-1.0f32..1.0, 127),
+            probes in prop::collection::vec(-1.5f32..1.5, 32),
+        ) {
+            let p = KmeansPattern::from_group(&vals, None, 9);
+            let b = p.boundaries();
+            prop_assert!(b.midpoints().windows(2).all(|w| w[0] <= w[1]));
+            for &x in &probes {
+                prop_assert_eq!(b.nearest(x), p.nearest(x));
+            }
+        }
+
         #[test]
         fn nearest_is_argmin(vals in prop::collection::vec(-1.0f32..1.0, 127), x in -1.2f32..1.2) {
             let p = KmeansPattern::from_group(&vals, None, 3);

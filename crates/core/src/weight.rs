@@ -4,9 +4,10 @@ use ecco_bits::Block64;
 use ecco_tensor::Tensor;
 use serde::{Deserialize, Serialize};
 
-use crate::block::{decode_group, encode_group};
+use crate::block::{decode_group, encode_group_scratch, encode_group_weighted_scratch};
 use crate::metadata::{PatternSelector, TensorMetadata};
 use crate::metrics::CodecStats;
+use crate::select::GroupScratch;
 use crate::EccoConfig;
 
 /// A tensor compressed into fixed 64-byte blocks.
@@ -159,20 +160,27 @@ impl WeightCodec {
         let meta = self.meta.with_scale(scale);
         let mut stats = CodecStats::default();
         let mut blocks = Vec::with_capacity(tensor.len() / meta.group_size);
+        // One selection scratch for the whole tensor, and (for the
+        // activation-aware path) the squared channel magnitudes computed
+        // once up front — the per-group loop below never allocates for
+        // selection or quantization.
+        let mut scratch = GroupScratch::new();
+        let w2_all: Option<Vec<f32>> = self.act_mags.as_ref().map(|mags| {
+            assert_eq!(mags.len(), tensor.cols(), "magnitude/column mismatch");
+            mags.iter().map(|&m| m * m).collect()
+        });
         for (gi, g) in tensor.groups(meta.group_size).enumerate() {
-            let (block, info) = match &self.act_mags {
-                Some(mags) => {
-                    assert_eq!(mags.len(), tensor.cols(), "magnitude/column mismatch");
+            let (block, info) = match &w2_all {
+                Some(w2) => {
                     let col0 = (gi * meta.group_size) % tensor.cols();
-                    let w2: Vec<f32> = mags[col0..col0 + meta.group_size]
-                        .iter()
-                        .map(|&m| m * m)
-                        .collect();
-                    let ng = crate::group::normalize_group(g, meta.tensor_scale);
-                    let kp = meta.select_pattern_weighted(&ng, &w2);
-                    crate::block::encode_group_with_pattern(g, &meta, kp)
+                    encode_group_weighted_scratch(
+                        g,
+                        &meta,
+                        &w2[col0..col0 + meta.group_size],
+                        &mut scratch,
+                    )
                 }
-                None => encode_group(g, &meta, PatternSelector::MseOptimal),
+                None => encode_group_scratch(g, &meta, PatternSelector::MseOptimal, &mut scratch),
             };
             stats.record(&info, meta.group_size);
             let (out, _) = decode_group(&block, &meta).expect("own blocks decode");
@@ -327,6 +335,35 @@ mod tests {
             ecco_err < rtn_err,
             "Ecco NMSE {ecco_err} must beat INT4 RTN {rtn_err}"
         );
+    }
+
+    #[test]
+    fn aware_compress_matches_two_step_reference() {
+        // The fused weighted encode (select + quantize in one sweep) must
+        // produce the same blocks as the two-step path: weighted selection
+        // first, then encoding with the explicit pattern id.
+        let t = SynthSpec::for_kind(TensorKind::Weight, 16, 512)
+            .seeded(26)
+            .generate();
+        let mags: Vec<f32> = (0..t.cols())
+            .map(|c| 0.1 + (c % 11) as f32 * 0.07)
+            .collect();
+        let codec = WeightCodec::calibrate_aware(&[&t], &mags, &cfg());
+        let meta = codec.metadata().with_scale(TensorMetadata::scale_for(&t));
+        let mut scratch = GroupScratch::new();
+        for (gi, g) in t.groups(meta.group_size).enumerate() {
+            let col0 = (gi * meta.group_size) % t.cols();
+            let w2: Vec<f32> = mags[col0..col0 + meta.group_size]
+                .iter()
+                .map(|&m| m * m)
+                .collect();
+            let ng = crate::group::normalize_group(g, meta.tensor_scale);
+            let kp = meta.select_pattern_weighted(&ng, &w2);
+            let (two_step, info_a) = crate::block::encode_group_with_pattern(g, &meta, kp);
+            let (fused, info_b) = encode_group_weighted_scratch(g, &meta, &w2, &mut scratch);
+            assert_eq!(two_step.as_bytes(), fused.as_bytes());
+            assert_eq!(info_a, info_b);
+        }
     }
 
     #[test]

@@ -195,35 +195,82 @@ pub fn fit_scalar_batch(jobs: &[ScalarJob<'_>], cfg: &KmeansConfig) -> Vec<Scala
     jobs.par_iter().map(|job| job.fit(cfg)).collect()
 }
 
-/// Index of the nearest centroid in a **sorted** centroid slice.
+/// Fills `out` with the decision boundaries of a **sorted** centroid
+/// slice: `out[j] = (centroids[j] + centroids[j+1]) * 0.5`.
 ///
-/// This is the software equivalent of the decoder's value-mapper: ties at
-/// exact midpoints resolve to the lower centroid.
+/// Because the centroids are sorted, the midpoints are non-decreasing, so
+/// the boundary table can be consumed by a monotone merge (see
+/// [`nearest_by_midpoints`]). Every nearest-centroid primitive in the
+/// workspace computes midpoints with this exact expression — the codec's
+/// boundary tables, [`nearest_sorted`] and the encoder's fused sweep must
+/// agree bit-for-bit on where each boundary sits.
 ///
 /// # Panics
 ///
-/// Panics if `centroids` is empty.
+/// Panics if `out.len() + 1 != centroids.len()`.
+#[inline]
+pub fn fill_midpoints(centroids: &[f32], out: &mut [f32]) {
+    assert_eq!(
+        out.len() + 1,
+        centroids.len(),
+        "need one midpoint per centroid gap"
+    );
+    for (o, w) in out.iter_mut().zip(centroids.windows(2)) {
+        *o = (w[0] + w[1]) * 0.5;
+    }
+}
+
+/// Index of the nearest centroid given its precomputed (non-decreasing)
+/// midpoint boundaries: the count of midpoints strictly below `x`.
+///
+/// This is the branch-free form of [`nearest_sorted`] — same boundary
+/// rule, but over a table built once with [`fill_midpoints`] instead of
+/// midpoints recomputed per probe. The two agree for every non-NaN `x`;
+/// NaN probes return 0 in both.
+#[inline]
+pub fn nearest_by_midpoints(mids: &[f32], x: f32) -> usize {
+    // `mids` is non-decreasing, so `x > m` holds on a prefix and the sum
+    // equals the boundary-crossing count; summing all entries keeps the
+    // loop branch-free.
+    mids.iter().map(|&m| usize::from(x > m)).sum()
+}
+
+/// Index of the nearest centroid in a **sorted** centroid slice, by the
+/// pinned midpoint-boundary rule: `x` maps to centroid `i` where `i` is
+/// the number of midpoints `(c[j] + c[j+1]) * 0.5` strictly below `x`.
+///
+/// The rule makes every corner case deterministic (regression-pinned in
+/// this crate's tests):
+///
+/// * a probe **exactly on a midpoint** resolves to the *lower* centroid,
+/// * **duplicate centroids** (k-means pads surplus clusters by
+///   duplication): a probe at or below the duplicated value resolves to
+///   the *lowest* index among them; a probe strictly above crosses every
+///   degenerate midpoint and resolves to the *highest* — the centroid
+///   value is identical either way,
+/// * a **NaN** probe compares false against every midpoint and maps to
+///   centroid 0.
+///
+/// This is the software equivalent of the decoder's value-mapper and the
+/// scalar reference for the codec's precomputed boundary tables.
+///
+/// # Panics
+///
+/// Panics (in debug builds) if `centroids` is empty.
 #[inline]
 pub fn nearest_sorted(centroids: &[f32], x: f32) -> usize {
     debug_assert!(!centroids.is_empty());
-    match centroids.binary_search_by(|c| c.total_cmp(&x)) {
-        Ok(i) => i,
-        Err(ins) => {
-            if ins == 0 {
-                0
-            } else if ins == centroids.len() {
-                centroids.len() - 1
-            } else {
-                let lo = centroids[ins - 1];
-                let hi = centroids[ins];
-                if (x - lo) <= (hi - x) {
-                    ins - 1
-                } else {
-                    ins
-                }
-            }
+    let mut i = 0usize;
+    for w in centroids.windows(2) {
+        if x > (w[0] + w[1]) * 0.5 {
+            i += 1;
+        } else {
+            // Midpoints of a sorted slice are non-decreasing: once one is
+            // >= x, all later ones are too.
+            break;
         }
     }
+    i
 }
 
 fn scalar_inertia(points: &[f32], w: &[f32], centroids: &[f32]) -> f64 {
@@ -507,6 +554,50 @@ mod tests {
         // Exact midpoint ties to the lower centroid.
         assert_eq!(nearest_sorted(&cs, 0.25), 1);
         assert_eq!(nearest_sorted(&cs, 0.5), 2);
+    }
+
+    #[test]
+    fn nearest_sorted_pins_ties_duplicates_and_nan() {
+        // Exact-midpoint ties resolve to the LOWER centroid — this is the
+        // boundary rule the codec's fused encoder sweep relies on.
+        let cs = [-1.0f32, 0.0, 1.0];
+        assert_eq!(nearest_sorted(&cs, -0.5), 0);
+        assert_eq!(nearest_sorted(&cs, 0.5), 1);
+        // Duplicate centroids (k-means pads surplus clusters this way):
+        // an exact hit — or anything at/below them — resolves to the
+        // LOWEST index among the duplicates; a value strictly above them
+        // crosses every degenerate midpoint and resolves to the HIGHEST.
+        // The reconstructed centroid value is identical either way.
+        let dup = [0.25f32, 0.25, 0.25, 0.75];
+        assert_eq!(nearest_sorted(&dup, 0.25), 0);
+        assert_eq!(nearest_sorted(&dup, 0.2), 0);
+        assert_eq!(nearest_sorted(&dup, 0.3), 2);
+        assert_eq!(nearest_sorted(&dup, 0.6), 3);
+        let all_same = [0.5f32; 15];
+        assert_eq!(nearest_sorted(&all_same, 0.5), 0);
+        assert_eq!(nearest_sorted(&all_same, 9.0), 14);
+        assert_eq!(nearest_sorted(&all_same, -9.0), 0);
+        // NaN probes compare false against every midpoint: symbol 0.
+        assert_eq!(nearest_sorted(&cs, f32::NAN), 0);
+        assert_eq!(nearest_by_midpoints(&[-0.5, 0.5], f32::NAN), 0);
+    }
+
+    #[test]
+    fn midpoint_table_matches_scalar_rule() {
+        let cs: Vec<f32> = (0..15).map(|i| ((i as f32) / 7.0 - 1.0).powi(3)).collect();
+        let mut mids = vec![0f32; 14];
+        fill_midpoints(&cs, &mut mids);
+        assert!(mids.windows(2).all(|w| w[0] <= w[1]), "mids non-decreasing");
+        for i in -30..=30 {
+            let x = i as f32 * 0.05;
+            assert_eq!(nearest_by_midpoints(&mids, x), nearest_sorted(&cs, x));
+        }
+        // Probes sitting exactly on each boundary tie to the lower side.
+        for (j, &m) in mids.iter().enumerate() {
+            let i = nearest_by_midpoints(&mids, m);
+            assert_eq!(i, nearest_sorted(&cs, m));
+            assert!(i <= j, "midpoint {j} resolved upward to {i}");
+        }
     }
 
     #[test]
