@@ -10,7 +10,13 @@
 //! * `seed_port` — the seed's speculative decoder (Vec-per-path,
 //!   clone-per-merge), preserved in `ecco_hw::paradec::seed_port`,
 //! * `lut` — PR 1's table-driven zero-allocation decoder,
-//! * `pipeline` — the rayon multi-block pipeline over the LUT decoder.
+//! * `pipeline` — the rayon multi-block pipeline over the LUT decoder,
+//!
+//! plus a `window_extract` section isolating the decoder's 64×8 window
+//! front end on weight and K-cache blocks: scalar-per-probe
+//! (`windows8_per_probe`) vs batched-portable (`windows8_portable`) vs
+//! the host SIMD tier (the dispatched `windows8` hot path with the
+//! tier pinned; `null` when unsupported).
 //!
 //! `BENCH_encode.json` covers the compress-side hot path:
 //!
@@ -26,7 +32,7 @@
 //!   pinned sequential reference `calibrate_weighted_seq`.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use ecco_bits::Block64;
+use ecco_bits::{set_window_dispatch, window_dispatch, Block64, BlockCursor, WindowDispatch};
 use ecco_core::parallel::encode_groups_parallel_unchecked;
 use ecco_core::{
     decode_group, encode_group, encode_group_scratch, normalize_group, select_pattern_ref,
@@ -87,8 +93,106 @@ fn bench(c: &mut Criterion) {
     });
     g.finish();
 
-    write_bench_json(&meta, &blocks);
+    // K-cache blocks for the window_extract section (different bit
+    // statistics than weight blocks: shorter codes, denser outliers).
+    let kt = SynthSpec::for_kind(TensorKind::KCache, 16, 1024)
+        .seeded(2)
+        .generate();
+    let kmeta = TensorMetadata::calibrate(&[&kt], &cfg, PatternSelector::MinMax);
+    let kc_blocks: Vec<Block64> = kt
+        .groups(GROUP)
+        .map(|g| encode_group(g, &kmeta, PatternSelector::MinMax).0)
+        .collect();
+
+    write_bench_json(&meta, &blocks, &kc_blocks);
     write_encode_json(&t, &meta, &cfg);
+}
+
+/// Extraction-only timings of the 64×8 window front end over one block
+/// set: mean ns for the per-probe scalar baseline, the batched portable
+/// path, and the host SIMD tier (`None` where unsupported). Each run
+/// sweeps every segment of every block at the decoder's 15-bit width.
+///
+/// Results are consumed at the granularity the decoder consumes them —
+/// the pre-batching scalar loop `black_box`es each window (it resolved
+/// each one with a LUT probe before extracting the next), while the
+/// batched paths `black_box` each whole 8-window batch (their consumer,
+/// `entries8`, takes the batch as one unit). Without that boundary the
+/// compiler happily fuses the eight "independent" scalar probes into
+/// SIMD itself and the comparison measures nothing. Each arm takes the
+/// best of three timed runs to shave scheduler noise on the shared
+/// container.
+fn window_extract_ns(blocks: &[Block64]) -> (f64, f64, Option<f64>) {
+    const SEGS: usize = ecco_hw::paradec::NUM_SEGMENTS;
+    let best_of = |f: &mut dyn FnMut() -> f64| (0..3).map(|_| f()).fold(f64::INFINITY, f64::min);
+    let cursors: Vec<BlockCursor> = blocks.iter().map(Block64::cursor).collect();
+    let per_probe = best_of(&mut || {
+        time_ns(|| {
+            let mut acc = 0u64;
+            for cur in &cursors {
+                for seg in 0..SEGS {
+                    for off in 0..8 {
+                        acc ^= black_box(cur.window(seg * 8 + off, 15));
+                    }
+                }
+            }
+            black_box(acc);
+        })
+    });
+    let portable = best_of(&mut || {
+        time_ns(|| {
+            for cur in &cursors {
+                for seg in 0..SEGS {
+                    black_box(cur.windows8_portable(seg * 8, 15));
+                }
+            }
+        })
+    });
+    // Time the SIMD tier through the dispatched hot path (`windows8`
+    // with the tier pinned) — what `decode_into` actually runs — rather
+    // than the re-detecting `windows8_simd` probe. `set_window_dispatch`
+    // clamps to supported tiers, so on a SIMD-less host neither pin
+    // sticks and the arm reports `null`.
+    let host_tier = window_dispatch();
+    let simd_tier = [WindowDispatch::Avx2, WindowDispatch::Neon]
+        .into_iter()
+        .find(|&t| set_window_dispatch(t) == t);
+    let simd = simd_tier.map(|_| {
+        best_of(&mut || {
+            time_ns(|| {
+                for cur in &cursors {
+                    for seg in 0..SEGS {
+                        black_box(cur.windows8(seg * 8, 15));
+                    }
+                }
+            })
+        })
+    });
+    set_window_dispatch(host_tier);
+    (per_probe, portable, simd)
+}
+
+/// One `window_extract` JSON object for a block set (throughputs in
+/// windows/s; SIMD entries are `null` when the host has no SIMD tier).
+fn window_extract_section(blocks: &[Block64]) -> String {
+    let windows = (blocks.len() * ecco_hw::paradec::NUM_SEGMENTS * 8) as f64;
+    let (probe_ns, portable_ns, simd_ns) = window_extract_ns(blocks);
+    let per_s = |ns: f64| windows / ns * 1e9;
+    let fmt_rate = |v: Option<f64>| v.map_or("null".to_string(), |x| format!("{x:.0}"));
+    let fmt_ratio = |v: Option<f64>| v.map_or("null".to_string(), |x| format!("{x:.2}"));
+    format!(
+        "{{\n      \
+           \"per_probe_scalar_windows_per_s\": {probe:.0},\n      \
+           \"batched_portable_windows_per_s\": {portable:.0},\n      \
+           \"simd_windows_per_s\": {simd},\n      \
+           \"portable_vs_per_probe_speedup\": {portable_speedup:.2},\n      \
+           \"simd_vs_per_probe_speedup\": {simd_speedup}\n    }}",
+        probe = per_s(probe_ns),
+        portable = per_s(portable_ns),
+        simd = fmt_rate(simd_ns.map(per_s)),
+        portable_speedup = probe_ns / portable_ns,
+        simd_speedup = fmt_ratio(simd_ns.map(|s| probe_ns / s)),
+    )
 }
 
 /// Mean ns of `f` over a time-boxed number of repetitions.
@@ -114,7 +218,7 @@ fn parse_header<'m>(
     (&meta.books[h.kp][h.book_id], h.data_start)
 }
 
-fn write_bench_json(meta: &TensorMetadata, blocks: &[Block64]) {
+fn write_bench_json(meta: &TensorMetadata, blocks: &[Block64], kc_blocks: &[Block64]) {
     let n = blocks.len();
     let symbols = (n * GROUP) as f64;
     let parsed: Vec<(&ecco_entropy::Codebook, usize)> =
@@ -160,6 +264,11 @@ fn write_bench_json(meta: &TensorMetadata, blocks: &[Block64]) {
         black_box(ecco_core::decode_groups_parallel(black_box(blocks), meta).unwrap());
     });
 
+    let dispatch = match window_dispatch() {
+        WindowDispatch::Portable => "portable",
+        WindowDispatch::Avx2 => "avx2",
+        WindowDispatch::Neon => "neon",
+    };
     let per_s = |ns: f64| symbols / ns * 1e9;
     let json = format!(
         "{{\n  \
@@ -171,6 +280,11 @@ fn write_bench_json(meta: &TensorMetadata, blocks: &[Block64]) {
            \"seed_port_syms_per_s\": {seed:.0},\n    \
            \"lut_syms_per_s\": {lut:.0},\n    \
            \"lut_vs_seed_port_speedup\": {raw_speedup:.2}\n  }},\n  \
+         \"window_extract\": {{\n    \
+           \"dispatch\": \"{dispatch}\",\n    \
+           \"window_bits\": 15,\n    \
+           \"weight\": {wsec},\n    \
+           \"kcache\": {ksec}\n  }},\n  \
          \"block_decode\": {{\n    \
            \"sequential_reference_syms_per_s\": {seq:.0},\n    \
            \"lut_model_syms_per_s\": {lutb:.0},\n    \
@@ -181,6 +295,8 @@ fn write_bench_json(meta: &TensorMetadata, blocks: &[Block64]) {
         seed = per_s(seed_ns),
         lut = per_s(lut_ns),
         raw_speedup = seed_ns / lut_ns,
+        wsec = window_extract_section(blocks),
+        ksec = window_extract_section(kc_blocks),
         seq = per_s(seq_ns),
         lutb = per_s(lut_block_ns),
         piper = per_s(pipeline_ref_ns),

@@ -353,10 +353,12 @@ pub fn decode_group(
     let scale_mag = scale_signed.abs();
 
     // Decode up to group_size symbols; a clipped tail terminates decoding
-    // (prefix-freeness makes the truncation point unambiguous).
+    // (prefix-freeness makes the truncation point unambiguous). The
+    // decode-table view is fetched once per block, not per symbol.
+    let dec = book.symbol_decoder();
     let mut symbols = Vec::with_capacity(meta.group_size);
     while symbols.len() < meta.group_size {
-        match book.decode_symbol(&mut r) {
+        match dec.decode_symbol(&mut r) {
             Some(s) => symbols.push(s),
             None => break,
         }

@@ -624,6 +624,33 @@ mod tests {
     }
 
     #[test]
+    fn serde_revived_metadata_decodes_without_rebuild() {
+        // Regression for the decode-side self-heal: rebuild_tables leaves
+        // every derived cache — the per-pattern length tables, the
+        // boundary tables, AND each codebook's decode LUT + SegmentLut —
+        // in the exact empty state deserialization produces. A block
+        // must decode correctly (and identically) straight from that
+        // state, with no warm-up call.
+        let t = weight_tensor(10);
+        let mut meta = TensorMetadata::calibrate(&[&t], &small_cfg(), PatternSelector::MseOptimal);
+        let g: Vec<f32> = t.groups(128).next().unwrap().to_vec();
+        let (block, _) = crate::block::encode_group(&g, &meta, PatternSelector::MseOptimal);
+        let (want, winfo) = crate::block::decode_group(&block, &meta).unwrap();
+
+        meta.rebuild_tables();
+        let (got, ginfo) = crate::block::decode_group(&block, &meta)
+            .expect("revived metadata must decode without rebuild");
+        assert_eq!(want, got, "self-healed decode must be bit-identical");
+        assert_eq!(winfo, ginfo);
+
+        // Encoding from the revived state is bit-identical too (the
+        // encode-side caches self-heal the same way).
+        meta.rebuild_tables();
+        let (block2, _) = crate::block::encode_group(&g, &meta, PatternSelector::MseOptimal);
+        assert_eq!(block, block2);
+    }
+
+    #[test]
     fn calibration_is_deterministic() {
         let t = weight_tensor(5);
         let a = TensorMetadata::calibrate(&[&t], &small_cfg(), PatternSelector::MseOptimal);

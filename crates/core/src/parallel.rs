@@ -164,22 +164,60 @@ pub fn decode_groups_parallel(
     blocks: &[Block64],
     meta: &TensorMetadata,
 ) -> Result<Vec<f32>, DecodeError> {
-    let gs = meta.group_size;
-    let shard = shard_groups(blocks.len());
+    decode_blocks_parallel_with(
+        blocks,
+        meta.group_size,
+        || (),
+        |(), b, out| {
+            let (v, _) = decode_group(b, meta)?;
+            out.extend_from_slice(&v);
+            Ok(())
+        },
+    )
+}
 
+/// The sharded decode driver every multi-block pipeline runs on: blocks
+/// are split into one contiguous run per worker ([`shard_groups`]), each
+/// worker builds one `state` with `init` (scratch buffers, decoder
+/// tables, …) and folds its run through `decode`, and the per-run outputs
+/// are reassembled in block order — bit-identical to the sequential loop
+/// regardless of pool size.
+///
+/// [`decode_groups_parallel`] instantiates this with the sequential
+/// reference decoder; `ecco-hw::decode_blocks_parallel` instantiates it
+/// with the hardware model's batched-window LUT decoder (one
+/// `DecodeScratch` per worker), so both sharded paths share exactly this
+/// sharding and reassembly policy.
+///
+/// `decode` appends exactly `group_size` values per block to `out`.
+///
+/// # Errors
+///
+/// Returns the first error in block order, as the sequential loop would.
+pub fn decode_blocks_parallel_with<S, I, F>(
+    blocks: &[Block64],
+    group_size: usize,
+    init: I,
+    decode: F,
+) -> Result<Vec<f32>, DecodeError>
+where
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &Block64, &mut Vec<f32>) -> Result<(), DecodeError> + Sync,
+{
+    let shard = shard_groups(blocks.len());
     let parts: Vec<Result<Vec<f32>, DecodeError>> = blocks
         .par_chunks(shard)
         .map(|run| {
-            let mut values = Vec::with_capacity(run.len() * gs);
+            let mut state = init();
+            let mut values = Vec::with_capacity(run.len() * group_size);
             for b in run {
-                let (v, _) = decode_group(b, meta)?;
-                values.extend_from_slice(&v);
+                decode(&mut state, b, &mut values)?;
             }
             Ok(values)
         })
         .collect();
 
-    let mut out = Vec::with_capacity(blocks.len() * gs);
+    let mut out = Vec::with_capacity(blocks.len() * group_size);
     for p in parts {
         out.extend(p?);
     }

@@ -109,6 +109,21 @@ fn package_merge(weights: &[u64], max_len: u8) -> Vec<u8> {
     lengths
 }
 
+/// The full `(symbol, length)` decode table over `max_len`-bit windows —
+/// derived purely from the serialized fields, so it can be rebuilt after
+/// deserialization.
+fn build_decode_lut(lengths: &[u8], codes: &[u16], max_len: u8) -> Vec<(u16, u8)> {
+    let mut lut = vec![(0u16, 0u8); 1 << max_len];
+    for (sym, (&len, &c)) in lengths.iter().zip(codes).enumerate() {
+        let shift = (max_len - len) as u32;
+        let base = (c as usize) << shift;
+        for fill in 0..(1usize << shift) {
+            lut[base + fill] = (sym as u16, len);
+        }
+    }
+    lut
+}
+
 /// A canonical prefix codebook over symbols `0..num_symbols`.
 ///
 /// Codes are MSB-first; decoding uses a full lookup table over `max_len`
@@ -130,9 +145,12 @@ pub struct Codebook {
     codes: Vec<u16>,
     max_len: u8,
     /// Lookup table indexed by a `max_len`-bit window: `(symbol, length)`,
-    /// with length 0 marking an invalid prefix.
+    /// with length 0 marking an invalid prefix. Built eagerly by the
+    /// constructors, but held in a `OnceLock` so a freshly deserialized
+    /// book (skipped fields default to empty) self-heals it on first
+    /// decode instead of indexing an empty table.
     #[serde(skip)]
-    lut: Vec<(u16, u8)>,
+    lut: OnceLock<Vec<(u16, u8)>>,
     /// Lazily-built parallel-decoder chain table (256 KiB), shared across
     /// clones of this book via the `Arc`. See [`Codebook::segment_lut`].
     #[serde(skip)]
@@ -221,16 +239,9 @@ impl Codebook {
             prev_len = len;
         }
 
-        // Full decode LUT over max_len bits.
-        let mut lut = vec![(0u16, 0u8); 1 << max_len];
-        for (sym, (&len, &c)) in lengths.iter().zip(&codes).enumerate() {
-            let shift = (max_len - len) as u32;
-            let base = (c as usize) << shift;
-            for fill in 0..(1usize << shift) {
-                lut[base + fill] = (sym as u16, len);
-            }
-        }
-
+        let lut = OnceLock::new();
+        lut.set(build_decode_lut(lengths, &codes, max_len))
+            .expect("fresh cell");
         Ok(Codebook {
             lengths: lengths.to_vec(),
             codes,
@@ -240,12 +251,41 @@ impl Codebook {
         })
     }
 
-    /// Rebuilds the decode tables after deserialization (the LUTs are not
-    /// serialized).
+    /// Clears the derived decode tables (they are not serialized),
+    /// leaving the book in the same state deserialization produces; both
+    /// tables rebuild themselves on first use, so calling this is never
+    /// required for correctness — the decode LUT heals inside
+    /// `decode_symbol`/`decode_window`, the chain table inside
+    /// [`Codebook::segment_lut`].
     pub fn rebuild_tables(&mut self) {
-        let rebuilt = Codebook::from_lengths(&self.lengths).expect("lengths were validated");
-        self.lut = rebuilt.lut;
+        self.lut = OnceLock::new();
         self.seg_lut = OnceLock::new();
+    }
+
+    /// The `max_len`-bit decode table, rebuilding it on first use if this
+    /// book was deserialized (the table is derived and never serialized).
+    ///
+    /// The heal path re-derives everything from the **validated length
+    /// vector alone** — canonical codes are fully determined by it (the
+    /// same fact `PartialEq` relies on) — so corrupted or inconsistent
+    /// serialized `codes` can never drive out-of-bounds table writes. A
+    /// book whose serialized fields do not cohere (Kraft violation,
+    /// `max_len` disagreeing with its lengths) gets an all-invalid table
+    /// instead: it decodes nothing, rather than panicking mid-stream.
+    #[inline]
+    fn decode_lut(&self) -> &[(u16, u8)] {
+        self.lut.get_or_init(|| {
+            Codebook::from_lengths(&self.lengths)
+                .ok()
+                .filter(|b| b.max_len == self.max_len)
+                .and_then(|b| b.lut.into_inner())
+                .unwrap_or_else(|| {
+                    // `clamp` only bounds the allocation for a corrupt
+                    // out-of-range `max_len`; every constructible book
+                    // has 1 <= max_len <= 15.
+                    vec![(0u16, 0u8); 1usize << self.max_len.clamp(1, 15)]
+                })
+        })
     }
 
     /// The parallel-decoder chain table for this book, built on first use
@@ -315,32 +355,39 @@ impl Codebook {
     ///
     /// Returns `None` when the remaining bits cannot hold a valid code —
     /// the condition the codec uses to detect a clipped stream.
+    ///
+    /// Per-symbol loops should fetch a [`Codebook::symbol_decoder`] once
+    /// and decode through it: this convenience wrapper re-touches the
+    /// lazily-healed table cache on every call.
     pub fn decode_symbol(&self, reader: &mut BitReader<'_>) -> Option<u16> {
-        let window = self.peek_window(reader);
-        let (sym, len) = self.lut[window];
-        if len == 0 || (len as usize) > reader.remaining() {
-            return None;
-        }
-        reader.seek(reader.bit_pos() + len as usize);
-        Some(sym)
+        self.symbol_decoder().decode_symbol(reader)
     }
 
     /// Decodes one symbol from a `max_len`-bit window value (the hardware
     /// sub-decoder primitive). Returns `(symbol, code_len)` or `None` for
     /// an invalid prefix.
+    ///
+    /// Like [`Codebook::decode_symbol`], hot loops should hoist a
+    /// [`Codebook::symbol_decoder`] instead.
     pub fn decode_window(&self, window: u64) -> Option<(u16, u8)> {
-        let idx = (window & ((1u64 << self.max_len) - 1)) as usize;
-        let (sym, len) = self.lut[idx];
-        if len == 0 {
-            None
-        } else {
-            Some((sym, len))
-        }
+        self.symbol_decoder().decode_window(window)
     }
 
-    /// Peeks the next `max_len` bits as a LUT index (zero-padded past end).
-    fn peek_window(&self, reader: &BitReader<'_>) -> usize {
-        reader.peek_bits_padded(self.max_len as u32) as usize
+    /// A borrowed view of the resolved decode table: fetch once per
+    /// block (resolving the lazily-healed cache a single time), then
+    /// decode per symbol with a plain slice index.
+    pub fn symbol_decoder(&self) -> SymbolDecoder<'_> {
+        let lut = self.decode_lut();
+        // The table length is always a power of two; index with the
+        // width it was actually sized for, so a corrupt out-of-range
+        // serialized `max_len` (whose heal produced a smaller
+        // all-invalid table) still decodes to `None` instead of
+        // indexing out of bounds.
+        let width = lut.len().trailing_zeros() as u8;
+        SymbolDecoder {
+            lut,
+            max_len: self.max_len.min(width),
+        }
     }
 
     /// The Kraft sum `Σ 2^-len` (≤ 1 for any prefix-free code).
@@ -363,6 +410,43 @@ impl Codebook {
     }
 }
 
+/// A per-symbol decoder over one codebook's resolved decode table —
+/// created by [`Codebook::symbol_decoder`] so the table-cache fetch
+/// happens once per block instead of once per symbol.
+#[derive(Clone, Copy, Debug)]
+pub struct SymbolDecoder<'a> {
+    lut: &'a [(u16, u8)],
+    max_len: u8,
+}
+
+impl SymbolDecoder<'_> {
+    /// Decodes one symbol from `reader`, advancing past its code —
+    /// see [`Codebook::decode_symbol`].
+    #[inline]
+    pub fn decode_symbol(&self, reader: &mut BitReader<'_>) -> Option<u16> {
+        let window = reader.peek_bits_padded(self.max_len as u32) as usize;
+        let (sym, len) = self.lut[window];
+        if len == 0 || (len as usize) > reader.remaining() {
+            return None;
+        }
+        reader.seek(reader.bit_pos() + len as usize);
+        Some(sym)
+    }
+
+    /// Decodes one symbol from a `max_len`-bit window value — see
+    /// [`Codebook::decode_window`].
+    #[inline]
+    pub fn decode_window(&self, window: u64) -> Option<(u16, u8)> {
+        let idx = (window & ((1u64 << self.max_len) - 1)) as usize;
+        let (sym, len) = self.lut[idx];
+        if len == 0 {
+            None
+        } else {
+            Some((sym, len))
+        }
+    }
+}
+
 impl fmt::Debug for Codebook {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -379,6 +463,110 @@ mod tests {
     use super::*;
     use crate::stats::shannon_entropy;
     use proptest::prelude::*;
+
+    #[test]
+    fn serde_roundtrip_self_heals_decode_tables() {
+        // Regression: a deserialized book arrives with its `#[serde(skip)]`
+        // decode tables defaulted to empty. Both the `max_len`-bit LUT and
+        // the parallel-decoder SegmentLut cache must self-heal on first
+        // decode — no `rebuild_tables` call required (the mirror of the
+        // metadata length-table self-heal).
+        let freqs = [400u64, 210, 96, 60, 31, 17, 9, 5, 3, 2, 1, 1, 1, 1, 1, 30];
+        let book = Codebook::from_frequencies(&freqs, 2, 8).unwrap();
+        // Simulate the exact post-deserialization state: serialized fields
+        // copied, skipped fields at their defaults.
+        let revived = Codebook {
+            lengths: book.lengths.clone(),
+            codes: book.codes.clone(),
+            max_len: book.max_len,
+            lut: OnceLock::new(),
+            seg_lut: OnceLock::new(),
+        };
+        assert!(revived.lut.get().is_none(), "test must start table-less");
+
+        // First decode goes straight through the healed table.
+        let mut w = BitWriter::new();
+        for s in [0u16, 3, 1, 15, 7] {
+            book.encode_symbol(&mut w, s);
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for s in [0u16, 3, 1, 15, 7] {
+            assert_eq!(revived.decode_symbol(&mut r), Some(s));
+        }
+
+        // decode_window and the SegmentLut probe agree with the original.
+        for window in 0..(1u64 << book.max_len()) {
+            assert_eq!(revived.decode_window(window), book.decode_window(window));
+        }
+        for window in [0u64, 0x7FFF, 0x1234, 0x2BAD, 0x5A5A] {
+            assert_eq!(
+                revived.segment_lut().entry(window),
+                book.segment_lut().entry(window)
+            );
+        }
+
+        // rebuild_tables leaves the same (lazily healing) state.
+        let mut rebuilt = book.clone();
+        rebuilt.rebuild_tables();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(rebuilt.decode_symbol(&mut r), Some(0));
+    }
+
+    #[test]
+    fn corrupt_deserialized_books_decode_nothing_instead_of_panicking() {
+        // The self-heal path must trust only the validated length vector:
+        // a revived book with garbage in its serialized `codes` heals to
+        // the canonical table (codes are derived, so decode still works),
+        // and one whose lengths are inconsistent (Kraft violation, or a
+        // max_len that disagrees) decodes nothing rather than indexing
+        // out of bounds mid-stream.
+        let book = Codebook::from_frequencies(&[40u64, 20, 10, 5], 2, 8).unwrap();
+        let mut bytes = BitWriter::new();
+        book.encode_symbol(&mut bytes, 0);
+        book.encode_symbol(&mut bytes, 3);
+        let bytes = bytes.into_bytes();
+
+        // Garbage codes: heal re-derives the canonical ones from lengths.
+        let bad_codes = Codebook {
+            lengths: book.lengths.clone(),
+            codes: vec![0xFFFF; book.lengths.len()],
+            max_len: book.max_len,
+            lut: OnceLock::new(),
+            seg_lut: OnceLock::new(),
+        };
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(bad_codes.decode_symbol(&mut r), Some(0));
+        assert_eq!(bad_codes.decode_symbol(&mut r), Some(3));
+
+        // Kraft-violating lengths: all-invalid table, every decode None.
+        let bad_lengths = Codebook {
+            lengths: vec![1, 1, 1],
+            codes: vec![0, 1, 2],
+            max_len: 1,
+            lut: OnceLock::new(),
+            seg_lut: OnceLock::new(),
+        };
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(bad_lengths.decode_symbol(&mut r), None);
+        assert_eq!(bad_lengths.decode_window(0), None);
+
+        // max_len disagreeing with the lengths: same graceful refusal —
+        // including values past the 15-bit cap and past the shift width,
+        // whose fallback tables are smaller than 2^max_len.
+        for bad in [book.max_len + 1, 20, 200] {
+            let bad_max = Codebook {
+                lengths: book.lengths.clone(),
+                codes: book.codes.clone(),
+                max_len: bad,
+                lut: OnceLock::new(),
+                seg_lut: OnceLock::new(),
+            };
+            let mut r = BitReader::new(&bytes);
+            assert_eq!(bad_max.decode_symbol(&mut r), None, "max_len {bad}");
+            assert_eq!(bad_max.decode_window(u64::MAX), None, "max_len {bad}");
+        }
+    }
 
     #[test]
     fn lengths_ordered_by_frequency() {

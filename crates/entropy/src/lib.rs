@@ -48,7 +48,7 @@ pub mod lut;
 pub mod multi;
 pub mod stats;
 
-pub use huffman::{Codebook, CodebookError};
+pub use huffman::{Codebook, CodebookError, SymbolDecoder};
 pub use lut::{ChainEntry, SegmentLut};
 pub use multi::{encoded_len_multi, MultiEncodedLen, MultiLenTable};
 pub use stats::{bit_efficiency, shannon_entropy, unique_values, BitEfficiency};

@@ -123,6 +123,9 @@ impl SegmentLut {
         );
         let max_len = book.max_len() as u32;
         let mask = (1u64 << max_len) - 1;
+        // One decoder view for all 2^15 chain walks (the table-cache
+        // fetch is per build, not per probe).
+        let dec = book.symbol_decoder();
         let mut entries = vec![ChainEntry(0); 1usize << WINDOW_BITS].into_boxed_slice();
         for (window, entry) in entries.iter_mut().enumerate() {
             let mut packed = 0u64;
@@ -132,7 +135,7 @@ impl SegmentLut {
             while pos < SEGMENT_BITS {
                 debug_assert!(count < MAX_CHAIN as u64, "min length 2 bounds chains to 4");
                 let idx = ((window as u64) >> (WINDOW_BITS - pos as u32 - max_len)) & mask;
-                match book.decode_window(idx) {
+                match dec.decode_window(idx) {
                     Some((sym, len)) => {
                         let end = pos + len as usize;
                         packed |= (sym as u64) << (SYM_SHIFT + 8 * count as u32);
@@ -159,6 +162,17 @@ impl SegmentLut {
     #[inline]
     pub fn entry(&self, window: u64) -> ChainEntry {
         self.entries[(window & ((1u64 << WINDOW_BITS) - 1)) as usize]
+    }
+
+    /// Gathers the chains for all eight offset windows of one segment in
+    /// one call — the probe half of the decoder's batched front end
+    /// (`ecco_bits::BlockCursor::windows8` supplies the windows). Issuing
+    /// the eight probes together keeps the table walk for one segment
+    /// within one pass over the cache instead of interleaving it with
+    /// record bookkeeping.
+    #[inline]
+    pub fn entries8(&self, windows: &[u64; 8]) -> [ChainEntry; 8] {
+        windows.map(|w| self.entry(w))
     }
 
     /// Table memory footprint in bytes.

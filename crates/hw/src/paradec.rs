@@ -24,13 +24,17 @@
 //! bit-exact output) in three allocation-free passes:
 //!
 //! 1. **Sub-decode.** One [`ecco_bits::BlockCursor`] views the block as
-//!    big-endian words; each of the 64×8 sub-decoders extracts its 15-bit
-//!    window with two shifts and resolves it with **one probe** of the
-//!    codebook's [`SegmentLut`] (a `2^15`-entry table mapping a window to
-//!    its packed chain of up to four `(symbol, end)` pairs — layout in
-//!    [`ecco_entropy::lut`]). The chain is truncated to the entry offset's
-//!    bit budget by index math only, yielding a fixed-size `SegRecord`
-//!    (symbols inline, no heap) in a stack table of 64×8 records.
+//!    big-endian words; the front end then runs **segment-at-a-time**:
+//!    all 8 offset windows of a segment come from one
+//!    [`BlockCursor::windows8`] batch (one guarded word-pair load
+//!    amortized across the 8 offsets — portable, AVX2 or NEON, see
+//!    [`ecco_bits::WindowDispatch`]) and are resolved by one gathered
+//!    [`SegmentLut::entries8`] probe (a `2^15`-entry table mapping a
+//!    window to its packed chain of up to four `(symbol, end)` pairs —
+//!    layout in [`ecco_entropy::lut`]). Each chain is truncated to its
+//!    entry offset's bit budget by index math only, yielding a fixed-size
+//!    `SegRecord` (symbols inline, no heap) in a stack table of 64×8
+//!    records.
 //!
 //! 2. **EOP chaining.** The concatenation tree's fixed point is computed
 //!    directly: starting from the entry offset of `start_bit`, each
@@ -191,15 +195,17 @@ impl<'a> ParallelDecoder<'a> {
         let entry_offset = start_bit % SEGMENT_BITS;
         let segments = NUM_SEGMENTS - first_seg;
 
-        // Pass 1: speculative sub-decoders — 8 fixed-size records per
-        // segment, each one window extraction + one LUT probe.
+        // Pass 1: speculative sub-decoders, one segment batch at a time —
+        // all 8 offset windows in one `windows8` extraction and all 8
+        // chains in one gathered `entries8` probe, then 8 records of pure
+        // index math.
         let cursor = BlockCursor::new(block);
         let mut records = [[SegRecord::default(); SUB_DECODERS]; NUM_SEGMENTS];
         for (seg, row) in records.iter_mut().enumerate().skip(first_seg) {
-            let seg_bit = seg * SEGMENT_BITS;
-            for (offset, rec) in row.iter_mut().enumerate() {
-                let window = cursor.window(seg_bit + offset, LUT_WINDOW_BITS);
-                *rec = SegRecord::from_chain(self.lut.entry(window), seg, offset);
+            let windows = cursor.windows8(seg * SEGMENT_BITS, LUT_WINDOW_BITS);
+            let chains = self.lut.entries8(&windows);
+            for (offset, (rec, chain)) in row.iter_mut().zip(chains).enumerate() {
+                *rec = SegRecord::from_chain(chain, seg, offset);
             }
         }
 
@@ -356,11 +362,13 @@ pub fn decode_block_parallel_into(
 
 /// Decodes a whole tensor's worth of blocks through the hardware parallel
 /// decoder model across a thread pool — the rebgzf-style multi-block
-/// pipeline, hardware-model flavour. Blocks are sharded one contiguous
-/// run per worker; each worker reuses one [`DecodeScratch`], so the
-/// steady state allocates nothing per block. Output is bit-identical to
-/// decoding each block with [`decode_block_parallel`] in order (and hence
-/// to `ecco_core::decode_groups_parallel`).
+/// pipeline, hardware-model flavour. Runs on the shared sharded driver
+/// ([`ecco_core::parallel::decode_blocks_parallel_with`]), so the batched
+/// `windows8` record fill is what every worker's run executes; each
+/// worker reuses one [`DecodeScratch`], so the steady state allocates
+/// nothing per block. Output is bit-identical to decoding each block with
+/// [`decode_block_parallel`] in order (and hence to
+/// `ecco_core::decode_groups_parallel`).
 ///
 /// # Errors
 ///
@@ -369,27 +377,21 @@ pub fn decode_blocks_parallel(
     blocks: &[Block64],
     meta: &TensorMetadata,
 ) -> Result<Vec<f32>, DecodeError> {
-    use rayon::prelude::*;
-    let gs = meta.group_size;
-    let shard = ecco_core::parallel::shard_groups(blocks.len());
-    let parts: Vec<Result<Vec<f32>, DecodeError>> = blocks
-        .par_chunks(shard)
-        .map(|run| {
-            let mut scratch = DecodeScratch::default();
-            let mut values = Vec::with_capacity(gs);
-            let mut out = Vec::with_capacity(run.len() * gs);
-            for b in run {
-                decode_block_parallel_into(b, meta, &mut scratch, &mut values)?;
-                out.extend_from_slice(&values);
-            }
-            Ok(out)
-        })
-        .collect();
-    let mut out = Vec::with_capacity(blocks.len() * gs);
-    for p in parts {
-        out.extend(p?);
-    }
-    Ok(out)
+    ecco_core::parallel::decode_blocks_parallel_with(
+        blocks,
+        meta.group_size,
+        || {
+            (
+                DecodeScratch::default(),
+                Vec::with_capacity(meta.group_size),
+            )
+        },
+        |(scratch, values), b, out| {
+            decode_block_parallel_into(b, meta, scratch, values)?;
+            out.extend_from_slice(values);
+            Ok(())
+        },
+    )
 }
 
 /// The seed implementation of the speculative decoder, preserved
@@ -661,15 +663,40 @@ mod tests {
 
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(24))]
+        /// LUT-decode == seed_port == sequential on random tensors, on
+        /// BOTH window-extraction dispatch arms: the batched tier the
+        /// host resolved (SIMD where supported) and the forced-scalar
+        /// portable tier. Dispatch is re-pinned per block and restored;
+        /// every tier is bit-identical, so the global flip is benign for
+        /// concurrently running tests.
         #[test]
         fn equivalence_under_random_tensors(seed in 0u64..500) {
             let t = SynthSpec::for_kind(TensorKind::KCache, 4, 512).seeded(seed).generate();
             let meta = meta_for(&t);
+            let host_tier = ecco_bits::window_dispatch();
             for g in t.groups(128) {
                 let (block, _) = encode_group(g, &meta, PatternSelector::MinMax);
                 let (seq, _) = ecco_core::decode_group(&block, &meta).unwrap();
-                let (par, _) = decode_block_parallel(&block, &meta).unwrap();
-                prop_assert_eq!(seq, par);
+                let header = ecco_core::block::parse_block_header(&block, &meta).unwrap();
+                let oracle = seed_port::decode(
+                    &meta.books[header.kp][header.book_id],
+                    &block,
+                    header.data_start,
+                    meta.group_size,
+                );
+                // Batched arm (host dispatch: AVX2/NEON where available).
+                let (par, pres) = decode_block_parallel(&block, &meta).unwrap();
+                prop_assert_eq!(&seq, &par, "batched arm diverged from sequential");
+                prop_assert_eq!(&pres.symbols, &oracle.symbols, "batched arm diverged from seed port");
+                prop_assert_eq!(pres.end_bit, oracle.end_bit);
+                // Forced-scalar arm.
+                ecco_bits::set_window_dispatch(ecco_bits::WindowDispatch::Portable);
+                let scalar = decode_block_parallel(&block, &meta);
+                ecco_bits::set_window_dispatch(host_tier);
+                let (par_s, pres_s) = scalar.unwrap();
+                prop_assert_eq!(&seq, &par_s, "forced-scalar arm diverged from sequential");
+                prop_assert_eq!(&pres_s.symbols, &oracle.symbols, "forced-scalar arm diverged from seed port");
+                prop_assert_eq!(pres_s.end_bit, oracle.end_bit);
             }
         }
 
