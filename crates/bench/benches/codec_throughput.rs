@@ -16,7 +16,12 @@
 //! front end on weight and K-cache blocks: scalar-per-probe
 //! (`windows8_per_probe`) vs batched-portable (`windows8_portable`) vs
 //! the host SIMD tier (the dispatched `windows8` hot path with the
-//! tier pinned; `null` when unsupported).
+//! tier pinned; `null` when unsupported), a `pool_spawn` section
+//! measuring spawn amortization on small tensors (per-call scoped-thread
+//! sharding — the pre-pool scheduler, reimplemented as the baseline —
+//! vs the persistent pool's fast path and its forced queue dispatch),
+//! and a `batch_decode` section comparing a per-tensor pooled loop with
+//! one batched `decode_tensors_batch` submission.
 //!
 //! `BENCH_encode.json` covers the compress-side hot path:
 //!
@@ -195,6 +200,105 @@ fn window_extract_section(blocks: &[Block64]) -> String {
     )
 }
 
+/// Small-tensor scheduling timings: decode `TENSORS` tiny tensors
+/// (`BLOCKS_PER` blocks each — the many-users serving shape) four ways.
+///
+/// * `spawn` — per-call scoped-thread sharding at 2 workers: the
+///   scheduler the vendored rayon stub used before the persistent pool,
+///   reimplemented here verbatim as the baseline. Every tensor pays two
+///   thread spawns + joins.
+/// * `pooled` — `decode_blocks_parallel` on a persistent 2-executor
+///   pool: tensors under the chunk threshold take the inline fast path
+///   (no queue round-trip) — the spawn cost is amortized away entirely.
+/// * `dispatch` — same pool with the chunk size pinned to 1, forcing
+///   every block through the injector queue: the cost of the wake-up
+///   round-trip itself, for honesty about what the fast path saves.
+/// * `batch` — all tensors in ONE `decode_tensors_batch` submission.
+///
+/// Returns mean ns per whole-set pass for (spawn, pooled, dispatch,
+/// batch), each the best of three timed runs.
+fn pool_timings(
+    meta: &TensorMetadata,
+    small: &[&[Block64]],
+    threads: usize,
+) -> (f64, f64, f64, f64) {
+    let best_of = |f: &mut dyn FnMut() -> f64| (0..3).map(|_| f()).fold(f64::INFINITY, f64::min);
+
+    let spawn = best_of(&mut || {
+        time_ns(|| {
+            for t in small {
+                let shard = t.len().div_ceil(threads).max(1);
+                let mut parts: Vec<Vec<f32>> = Vec::with_capacity(threads);
+                std::thread::scope(|s| {
+                    let handles: Vec<_> = t
+                        .chunks(shard)
+                        .map(|run| {
+                            s.spawn(move || {
+                                let mut scratch = DecodeScratch::default();
+                                let mut values = Vec::with_capacity(GROUP);
+                                let mut out = Vec::with_capacity(run.len() * GROUP);
+                                for b in run {
+                                    ecco_hw::decode_block_parallel_into(
+                                        b,
+                                        meta,
+                                        &mut scratch,
+                                        &mut values,
+                                    )
+                                    .unwrap();
+                                    out.extend_from_slice(&values);
+                                }
+                                out
+                            })
+                        })
+                        .collect();
+                    for h in handles {
+                        parts.push(h.join().unwrap());
+                    }
+                });
+                black_box(parts);
+            }
+        })
+    });
+
+    let pool = ecco_core::pool::PoolBuilder::new().threads(threads).build();
+    let pooled = best_of(&mut || {
+        ecco_core::pool::with_pool(&pool, || {
+            time_ns(|| {
+                for t in small {
+                    black_box(decode_blocks_parallel(black_box(t), meta).unwrap());
+                }
+            })
+        })
+    });
+
+    let queue_pool = ecco_core::pool::PoolBuilder::new()
+        .threads(threads)
+        .chunk(1)
+        .build();
+    let dispatch = best_of(&mut || {
+        ecco_core::pool::with_pool(&queue_pool, || {
+            time_ns(|| {
+                for t in small {
+                    black_box(decode_blocks_parallel(black_box(t), meta).unwrap());
+                }
+            })
+        })
+    });
+
+    let batch_refs: Vec<(&[Block64], &TensorMetadata)> = small.iter().map(|t| (*t, meta)).collect();
+    let batch = best_of(&mut || {
+        ecco_core::pool::with_pool(&pool, || {
+            time_ns(|| {
+                for r in ecco_hw::decode_tensors_batch(black_box(&batch_refs)) {
+                    black_box(r.unwrap());
+                }
+            })
+        })
+    });
+
+    (spawn, pooled, dispatch, batch)
+}
+
 /// Mean ns of `f` over a time-boxed number of repetitions.
 fn time_ns<F: FnMut()>(mut f: F) -> f64 {
     // Warm up once, then run for ~400 ms.
@@ -264,6 +368,19 @@ fn write_bench_json(meta: &TensorMetadata, blocks: &[Block64], kc_blocks: &[Bloc
         black_box(ecco_core::decode_groups_parallel(black_box(blocks), meta).unwrap());
     });
 
+    // Small-tensor scheduling: spawn-per-call vs the persistent pool.
+    const SMALL_TENSORS: usize = 128;
+    const SMALL_BLOCKS: usize = 4;
+    const POOL_THREADS: usize = 2;
+    let small: Vec<&[Block64]> = (0..SMALL_TENSORS)
+        .map(|i| {
+            let lo = (i * SMALL_BLOCKS) % (blocks.len() - SMALL_BLOCKS);
+            &blocks[lo..lo + SMALL_BLOCKS]
+        })
+        .collect();
+    let (spawn_ns, pooled_ns, dispatch_ns, batch_ns) = pool_timings(meta, &small, POOL_THREADS);
+    let tensors_per_s = |ns: f64| SMALL_TENSORS as f64 / ns * 1e9;
+
     let dispatch = match window_dispatch() {
         WindowDispatch::Portable => "portable",
         WindowDispatch::Avx2 => "avx2",
@@ -290,7 +407,22 @@ fn write_bench_json(meta: &TensorMetadata, blocks: &[Block64], kc_blocks: &[Bloc
            \"lut_model_syms_per_s\": {lutb:.0},\n    \
            \"pipeline_reference_syms_per_s\": {piper:.0},\n    \
            \"pipeline_hw_model_syms_per_s\": {pipeh:.0},\n    \
-           \"pipeline_vs_sequential_speedup\": {pipe_speedup:.2}\n  }}\n}}\n",
+           \"pipeline_vs_sequential_speedup\": {pipe_speedup:.2}\n  }},\n  \
+         \"pool_spawn\": {{\n    \
+           \"tensors\": {SMALL_TENSORS},\n    \
+           \"blocks_per_tensor\": {SMALL_BLOCKS},\n    \
+           \"pool_executors\": {POOL_THREADS},\n    \
+           \"spawn_per_call_tensors_per_s\": {spawn_tps:.0},\n    \
+           \"pooled_tensors_per_s\": {pooled_tps:.0},\n    \
+           \"pooled_dispatch_tensors_per_s\": {dispatch_tps:.0},\n    \
+           \"pooled_vs_spawn_speedup\": {pool_speedup:.2}\n  }},\n  \
+         \"batch_decode\": {{\n    \
+           \"tensors\": {SMALL_TENSORS},\n    \
+           \"blocks_per_tensor\": {SMALL_BLOCKS},\n    \
+           \"pool_executors\": {POOL_THREADS},\n    \
+           \"per_tensor_pooled_tensors_per_s\": {pooled_tps:.0},\n    \
+           \"batched_submission_tensors_per_s\": {batch_tps:.0},\n    \
+           \"batched_vs_per_tensor_speedup\": {batch_speedup:.2}\n  }}\n}}\n",
         threads = rayon::current_num_threads(),
         seed = per_s(seed_ns),
         lut = per_s(lut_ns),
@@ -302,13 +434,21 @@ fn write_bench_json(meta: &TensorMetadata, blocks: &[Block64], kc_blocks: &[Bloc
         piper = per_s(pipeline_ref_ns),
         pipeh = per_s(pipeline_hw_ns),
         pipe_speedup = seq_ns / pipeline_ref_ns,
+        spawn_tps = tensors_per_s(spawn_ns),
+        pooled_tps = tensors_per_s(pooled_ns),
+        dispatch_tps = tensors_per_s(dispatch_ns),
+        pool_speedup = spawn_ns / pooled_ns,
+        batch_tps = tensors_per_s(batch_ns),
+        batch_speedup = pooled_ns / batch_ns,
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_codec.json");
     std::fs::write(path, &json).expect("write BENCH_codec.json");
     println!("\nBENCH_codec.json:\n{json}");
     println!(
-        "LUT decoder is {:.1}x the seed implementation on identical inputs",
-        seed_ns / lut_ns
+        "LUT decoder is {:.1}x the seed implementation on identical inputs; \
+         pooled small-tensor decode is {:.1}x the per-call spawn baseline",
+        seed_ns / lut_ns,
+        spawn_ns / pooled_ns,
     );
 }
 

@@ -52,6 +52,10 @@ pub enum DecodeError {
     BadBookId,
     /// The scale-factor byte decoded to NaN.
     BadScaleFactor,
+    /// A pool worker panicked while decoding this tensor's batch slice;
+    /// the panic was contained to this result (see
+    /// [`crate::parallel::decode_tensors_batch_with`]).
+    WorkerPanic,
 }
 
 impl std::fmt::Display for DecodeError {
@@ -60,6 +64,7 @@ impl std::fmt::Display for DecodeError {
             DecodeError::BadPatternId => write!(f, "invalid pattern id"),
             DecodeError::BadBookId => write!(f, "invalid codebook id"),
             DecodeError::BadScaleFactor => write!(f, "scale factor is NaN"),
+            DecodeError::WorkerPanic => write!(f, "decode worker panicked"),
         }
     }
 }

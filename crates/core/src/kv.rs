@@ -121,6 +121,51 @@ impl KvCodec {
         )
     }
 
+    /// Compresses many KV tensors (e.g. every live request's cache
+    /// segment) in **one pool pass** with online min/max selection —
+    /// the serving-side batched submission. Bit-identical to calling
+    /// [`KvCodec::compress`] per tensor, in order; see
+    /// [`WeightCodec::compress_batch`](crate::WeightCodec::compress_batch)
+    /// for the scheduling model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any tensor's length is not a multiple of the group
+    /// size (checked up front, before any encoding starts).
+    pub fn compress_batch(&self, tensors: &[&Tensor]) -> Vec<(CompressedTensor, CodecStats)> {
+        let gs = self.meta.group_size;
+        for t in tensors {
+            assert_eq!(t.len() % gs, 0, "tensor not a multiple of group size");
+        }
+        let metas: Vec<TensorMetadata> = tensors
+            .iter()
+            .map(|t| self.meta.with_scale(TensorMetadata::scale_for(t)))
+            .collect();
+        let counts: Vec<usize> = tensors.iter().map(|t| t.len() / gs).collect();
+
+        let encoded = crate::parallel::encode_tensors_batch_with(&counts, |ti, lo, hi| {
+            crate::parallel::encode_run(
+                tensors[ti].data(),
+                &metas[ti],
+                PatternSelector::MinMax,
+                lo,
+                hi,
+            )
+        });
+
+        encoded
+            .into_iter()
+            .zip(tensors)
+            .zip(metas)
+            .map(|(((blocks, stats), t), meta)| {
+                (
+                    CompressedTensor::from_parts(t.rows(), t.cols(), gs, meta.tensor_scale, blocks),
+                    stats,
+                )
+            })
+            .collect()
+    }
+
     /// Decompresses a KV tensor.
     pub fn decompress(&self, ct: &CompressedTensor) -> Tensor {
         let meta = self.meta.with_scale(ct.tensor_scale());
@@ -164,6 +209,20 @@ mod tests {
         let (out, _) = codec.roundtrip(&t);
         let e = nmse(&t, &out);
         assert!(e < 0.05, "KV NMSE {e}");
+    }
+
+    #[test]
+    fn batch_compress_matches_per_tensor_loop() {
+        let tensors: Vec<Tensor> = (0..4).map(|i| kv_tensor(20 + i)).collect();
+        let refs: Vec<&Tensor> = tensors.iter().collect();
+        let codec = KvCodec::calibrate(&refs, &EccoConfig::default());
+        let batch = codec.compress_batch(&refs);
+        for (t, (ct, stats)) in tensors.iter().zip(&batch) {
+            let (want_ct, want_stats) = codec.compress(t);
+            assert_eq!(ct.blocks(), want_ct.blocks(), "KV batch encode diverged");
+            assert_eq!(stats.groups, want_stats.groups);
+            assert!((stats.nmse() - want_stats.nmse()).abs() < 1e-12);
+        }
     }
 
     #[test]

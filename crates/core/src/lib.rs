@@ -76,6 +76,7 @@ pub mod metadata;
 pub mod metrics;
 pub mod parallel;
 pub mod pattern;
+pub mod pool;
 pub mod select;
 pub mod weight;
 
@@ -92,6 +93,7 @@ pub use metadata::{PatternSelector, TensorMetadata};
 pub use metrics::CodecStats;
 pub use parallel::{decode_groups_parallel, encode_groups_parallel};
 pub use pattern::{KmeansPattern, PatternBoundaries, NUM_CENTROIDS, SCALE_SYMBOL, SYMBOL_COUNT};
+pub use pool::{with_pool, Pool, PoolBuilder};
 pub use select::{select_pattern_ref, GroupScratch};
 pub use weight::{CompressedTensor, WeightCodec};
 

@@ -1,52 +1,54 @@
-//! Multi-block codec pipeline: encode/decode a whole tensor's worth of
-//! [`Block64`]s across a thread pool.
+//! Multi-block codec pipelines: encode/decode whole tensors — and whole
+//! *batches* of tensors — across the persistent worker pool.
 //!
 //! Ecco's block format makes every 64-byte block independently decodable
 //! (each carries its own header, and the shared metadata is read-only), so
 //! a tensor is embarrassingly parallel across its groups — the same
 //! property BGZF exploits to decompress genomic archives block-parallel.
-//! This module shards the group/block array into one contiguous run per
-//! worker, encodes or decodes each run with thread-local buffers, and
-//! reassembles results in order, so output is bit-identical to the
-//! sequential paths ([`encode_group`](crate::block::encode_group)/[`decode_group`]).
+//! This module cuts the group/block array into chunks
+//! ([`crate::pool::block_chunk`]) that idle executors claim dynamically
+//! from the shared pool ([`crate::pool`]), processes each chunk with
+//! chunk-local buffers, and reassembles results in chunk order, so output
+//! is bit-identical to the sequential paths
+//! ([`encode_group`](crate::block::encode_group)/[`decode_group`]) at any
+//! pool size or chunking. Jobs smaller than one chunk run inline on the
+//! caller — tiny tensors never pay a scheduling round-trip.
+//!
+//! The *batched submission* drivers at the bottom flatten many tensors'
+//! blocks into one chunk list and feed them through a single pool pass,
+//! so concurrent serving requests share the workers instead of each
+//! spawning (or queueing) its own pipeline; per-tensor results (and
+//! per-tensor failures — including a panicking worker task, surfaced as
+//! [`DecodeError::WorkerPanic`]) stay isolated.
 //!
 //! The hardware-model twin (batch decode through the speculative parallel
-//! decoder) lives in `ecco-hw::paradec::decode_blocks_parallel`, which
-//! reuses the same sharding shape.
+//! decoder) lives in `ecco-hw::paradec::{decode_blocks_parallel,
+//! decode_tensors_batch}`, which reuses these drivers.
 
 use ecco_bits::Block64;
 use ecco_tensor::Tensor;
-use rayon::prelude::*;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use crate::block::{decode_group, encode_group_scratch, DecodeError, EncodedGroupInfo};
 use crate::metadata::{PatternSelector, TensorMetadata};
 use crate::metrics::CodecStats;
+use crate::pool::{block_chunk, Pool};
 use crate::select::GroupScratch;
 
-/// Worker threads the pipeline shards across (the rayon pool size).
+/// Executors the pipelines run on: the current pool's worker threads
+/// plus the submitting thread.
 pub fn worker_threads() -> usize {
-    rayon::current_num_threads()
+    Pool::current().executors()
 }
 
-/// Number of groups each worker processes as one contiguous run — the
-/// sharding policy shared by every multi-block pipeline (including the
-/// hardware-model twin in `ecco-hw`).
-///
-/// One shard per worker thread keeps scheduling overhead at a single
-/// spawn per thread while the runs stay large enough (hundreds of groups
-/// for real tensors) that imbalance is noise.
-pub fn shard_groups(total: usize) -> usize {
-    total.div_ceil(rayon::current_num_threads()).max(1)
-}
-
-/// Maps `f(index, item)` over `items` across the rayon pool, returning the
+/// Maps `f(index, item)` over `items` across the pool, returning the
 /// results in item order — exactly what the sequential
 /// `items.iter().enumerate().map(..)` would produce, in the same order.
 ///
-/// Sharding follows [`shard_groups`] (one contiguous run per worker), so
-/// calibration steps built on this helper stay bit-identical to their
-/// sequential references no matter the pool size. This is the primitive
-/// behind the parallel stages of
+/// Chunks are claimed dynamically ([`Pool::chunk_for`]); since `f` is
+/// per-item, reassembling chunk results in chunk order makes the output
+/// independent of pool size and chunking. This is the primitive behind
+/// the parallel stages of
 /// [`TensorMetadata::calibrate_weighted`](crate::TensorMetadata::calibrate_weighted).
 pub fn par_map_indexed<T, R, F>(items: &[T], f: F) -> Vec<R>
 where
@@ -57,15 +59,43 @@ where
     if items.is_empty() {
         return Vec::new();
     }
-    let shard = shard_groups(items.len());
-    let ranges: Vec<(usize, usize)> = (0..items.len().div_ceil(shard))
-        .map(|w| (w * shard, ((w + 1) * shard).min(items.len())))
-        .collect();
-    let parts: Vec<Vec<R>> = ranges
-        .par_iter()
-        .map(|&(lo, hi)| (lo..hi).map(|i| f(i, &items[i])).collect())
-        .collect();
+    let pool = Pool::current();
+    let chunk = pool.chunk_for(items.len());
+    let parts = pool
+        .run_map(items.len(), chunk, |lo, hi| {
+            (lo..hi).map(|i| f(i, &items[i])).collect::<Vec<R>>()
+        })
+        .unwrap_or_else(|p| p.resume());
     parts.into_iter().flatten().collect()
+}
+
+/// Encodes groups `lo..hi` of `data` (a flat `group_size`-aligned value
+/// stream) under `meta`, with the accounting every checked compress
+/// path reports: per-group encode stats plus the self-decode round-trip
+/// error. The single source of truth for that loop — the tensor
+/// pipeline's chunk body and both codecs' batch submissions call this,
+/// so stats stay consistent across every entry point.
+pub(crate) fn encode_run(
+    data: &[f32],
+    meta: &TensorMetadata,
+    selector: PatternSelector,
+    lo: usize,
+    hi: usize,
+) -> (Vec<Block64>, CodecStats) {
+    let gs = meta.group_size;
+    let mut blocks = Vec::with_capacity(hi - lo);
+    let mut stats = CodecStats::default();
+    // One selection scratch per run: the fused sweep reuses its
+    // sorted-group and symbol buffers for every group here.
+    let mut scratch = GroupScratch::new();
+    for g in data[lo * gs..hi * gs].chunks_exact(gs) {
+        let (block, info) = encode_group_scratch(g, meta, selector, &mut scratch);
+        stats.record(&info, gs);
+        let (out, _) = decode_group(&block, meta).expect("own blocks decode");
+        stats.record_error(g, &out);
+        blocks.push(block);
+    }
+    (blocks, stats)
 }
 
 /// Encodes every `meta.group_size`-value group of `tensor` into blocks,
@@ -87,27 +117,15 @@ pub fn encode_groups_parallel(
     let gs = meta.group_size;
     assert_eq!(tensor.len() % gs, 0, "tensor not a multiple of group size");
     let total = tensor.len() / gs;
-    let shard = shard_groups(total) * gs;
+    let pool = Pool::current();
+    let chunk = block_chunk(&pool, total);
+    let data = tensor.data();
 
-    let parts: Vec<(Vec<Block64>, CodecStats)> = tensor
-        .data()
-        .par_chunks(shard)
-        .map(|run| {
-            let mut blocks = Vec::with_capacity(run.len() / gs);
-            let mut stats = CodecStats::default();
-            // One selection scratch per worker run: the fused sweep reuses
-            // its sorted-group and symbol buffers for every group here.
-            let mut scratch = GroupScratch::new();
-            for g in run.chunks_exact(gs) {
-                let (block, info) = encode_group_scratch(g, meta, selector, &mut scratch);
-                stats.record(&info, gs);
-                let (out, _) = decode_group(&block, meta).expect("own blocks decode");
-                stats.record_error(g, &out);
-                blocks.push(block);
-            }
-            (blocks, stats)
+    let parts: Vec<(Vec<Block64>, CodecStats)> = pool
+        .run_map(total, chunk, |lo, hi| {
+            encode_run(data, meta, selector, lo, hi)
         })
-        .collect();
+        .unwrap_or_else(|p| p.resume());
 
     let mut blocks = Vec::with_capacity(total);
     let mut stats = CodecStats::default();
@@ -129,18 +147,19 @@ pub fn encode_groups_parallel_unchecked(
     let gs = meta.group_size;
     assert_eq!(tensor.len() % gs, 0, "tensor not a multiple of group size");
     let total = tensor.len() / gs;
-    let shard = shard_groups(total) * gs;
+    let pool = Pool::current();
+    let chunk = block_chunk(&pool, total);
+    let data = tensor.data();
 
-    let parts: Vec<Vec<(Block64, EncodedGroupInfo)>> = tensor
-        .data()
-        .par_chunks(shard)
-        .map(|run| {
+    let parts: Vec<Vec<(Block64, EncodedGroupInfo)>> = pool
+        .run_map(total, chunk, |lo, hi| {
             let mut scratch = GroupScratch::new();
-            run.chunks_exact(gs)
+            data[lo * gs..hi * gs]
+                .chunks_exact(gs)
                 .map(|g| encode_group_scratch(g, meta, selector, &mut scratch))
                 .collect()
         })
-        .collect();
+        .unwrap_or_else(|p| p.resume());
 
     let mut blocks = Vec::with_capacity(total);
     let mut infos = Vec::with_capacity(total);
@@ -176,18 +195,18 @@ pub fn decode_groups_parallel(
     )
 }
 
-/// The sharded decode driver every multi-block pipeline runs on: blocks
-/// are split into one contiguous run per worker ([`shard_groups`]), each
-/// worker builds one `state` with `init` (scratch buffers, decoder
-/// tables, …) and folds its run through `decode`, and the per-run outputs
-/// are reassembled in block order — bit-identical to the sequential loop
-/// regardless of pool size.
+/// The chunked decode driver every multi-block pipeline runs on: blocks
+/// are cut into dynamically-claimed chunks ([`crate::pool::block_chunk`]),
+/// each chunk builds one `state` with `init` (scratch buffers, decoder
+/// tables, …) and folds its blocks through `decode`, and the per-chunk
+/// outputs are reassembled in block order — bit-identical to the
+/// sequential loop regardless of pool size or chunking.
 ///
 /// [`decode_groups_parallel`] instantiates this with the sequential
 /// reference decoder; `ecco-hw::decode_blocks_parallel` instantiates it
 /// with the hardware model's batched-window LUT decoder (one
-/// `DecodeScratch` per worker), so both sharded paths share exactly this
-/// sharding and reassembly policy.
+/// `DecodeScratch` per chunk), so both sharded paths share exactly this
+/// chunking and reassembly policy.
 ///
 /// `decode` appends exactly `group_size` values per block to `out`.
 ///
@@ -204,18 +223,21 @@ where
     I: Fn() -> S + Sync,
     F: Fn(&mut S, &Block64, &mut Vec<f32>) -> Result<(), DecodeError> + Sync,
 {
-    let shard = shard_groups(blocks.len());
-    let parts: Vec<Result<Vec<f32>, DecodeError>> = blocks
-        .par_chunks(shard)
-        .map(|run| {
+    if blocks.is_empty() {
+        return Ok(Vec::new());
+    }
+    let pool = Pool::current();
+    let chunk = block_chunk(&pool, blocks.len());
+    let parts: Vec<Result<Vec<f32>, DecodeError>> = pool
+        .run_map(blocks.len(), chunk, |lo, hi| {
             let mut state = init();
-            let mut values = Vec::with_capacity(run.len() * group_size);
-            for b in run {
+            let mut values = Vec::with_capacity((hi - lo) * group_size);
+            for b in &blocks[lo..hi] {
                 decode(&mut state, b, &mut values)?;
             }
             Ok(values)
         })
-        .collect();
+        .unwrap_or_else(|p| p.resume());
 
     let mut out = Vec::with_capacity(blocks.len() * group_size);
     for p in parts {
@@ -224,12 +246,142 @@ where
     Ok(out)
 }
 
+/// One work chunk of a batched multi-tensor submission: `blocks[lo..hi]`
+/// of batch entry `tensor`.
+#[derive(Clone, Copy, Debug)]
+struct BatchChunk {
+    tensor: usize,
+    lo: usize,
+    hi: usize,
+}
+
+/// Flattens per-tensor block counts into one chunk list sized by the
+/// pool's policy over the *total* batch, so many small tensors still
+/// yield chunks big enough to amortize claiming.
+fn batch_chunks(pool: &Pool, sizes: &[usize]) -> Vec<BatchChunk> {
+    let total: usize = sizes.iter().sum();
+    let chunk = block_chunk(pool, total);
+    let mut out = Vec::with_capacity(total.div_ceil(chunk.max(1)) + sizes.len());
+    for (tensor, &n) in sizes.iter().enumerate() {
+        let mut lo = 0;
+        while lo < n {
+            let hi = (lo + chunk).min(n);
+            out.push(BatchChunk { tensor, lo, hi });
+            lo = hi;
+        }
+    }
+    out
+}
+
+/// Decodes many tensors' block arrays in **one pool pass** — the batched
+/// submission driver behind [`crate::WeightCodec::decompress_batch`] and
+/// `ecco-hw::decode_tensors_batch`. All tensors' chunks enter the shared
+/// injector queue together, so concurrent requests share workers instead
+/// of oversubscribing; a batch that flattens to a single chunk (one
+/// small tensor) runs inline on the caller, multi-chunk batches pay one
+/// queue wake-up for the whole batch.
+///
+/// `decode` receives the batch index of the tensor the block belongs to
+/// (for per-tensor metadata) and appends exactly `group_size` values per
+/// block. Per-tensor results are reassembled in block order.
+///
+/// Failures stay isolated: each tensor's slot carries its own first
+/// [`DecodeError`] in block order, and a panicking chunk poisons only
+/// its tensor's result (surfaced as [`DecodeError::WorkerPanic`]) — the
+/// pool and the rest of the batch are unaffected.
+pub fn decode_tensors_batch_with<S, I, F>(
+    batch: &[&[Block64]],
+    group_size: usize,
+    init: I,
+    decode: F,
+) -> Vec<Result<Vec<f32>, DecodeError>>
+where
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &Block64, &mut Vec<f32>) -> Result<(), DecodeError> + Sync,
+{
+    let pool = Pool::current();
+    let sizes: Vec<usize> = batch.iter().map(|b| b.len()).collect();
+    let chunks = batch_chunks(&pool, &sizes);
+
+    let parts: Vec<Result<Vec<f32>, DecodeError>> = pool
+        .run_map(chunks.len(), 1, |c, _| {
+            let BatchChunk { tensor, lo, hi } = chunks[c];
+            // A panic while decoding (impossible for well-formed
+            // metadata, but this is the failure-injection surface) must
+            // poison only this tensor's result, not the whole batch.
+            catch_unwind(AssertUnwindSafe(|| {
+                let mut state = init();
+                let mut values = Vec::with_capacity((hi - lo) * group_size);
+                for b in &batch[tensor][lo..hi] {
+                    decode(&mut state, tensor, b, &mut values)?;
+                }
+                Ok(values)
+            }))
+            .unwrap_or(Err(DecodeError::WorkerPanic))
+        })
+        .unwrap_or_else(|p| p.resume());
+
+    let mut out: Vec<Result<Vec<f32>, DecodeError>> = sizes
+        .iter()
+        .map(|&n| Ok(Vec::with_capacity(n * group_size)))
+        .collect();
+    for (c, part) in chunks.iter().zip(parts) {
+        match (&mut out[c.tensor], part) {
+            (Ok(values), Ok(p)) => values.extend(p),
+            (slot @ Ok(_), Err(e)) => *slot = Err(e),
+            // An earlier chunk of this tensor already failed; keep the
+            // first error in block order.
+            (Err(_), _) => {}
+        }
+    }
+    out
+}
+
+/// Encodes many tensors in **one pool pass**: per-tensor group counts
+/// and an `encode` closure receiving `(batch index, group range)` and
+/// returning that chunk's blocks plus statistics. Results are
+/// reassembled per tensor in group order — bit-identical to running
+/// [`encode_groups_parallel`] per tensor.
+///
+/// This is the driver behind [`crate::WeightCodec::compress_batch`] and
+/// [`crate::KvCodec::compress_batch`]. Panics propagate to the caller
+/// (encoding valid tensors cannot fail; a panic is a caller bug).
+pub fn encode_tensors_batch_with<F>(
+    group_counts: &[usize],
+    encode: F,
+) -> Vec<(Vec<Block64>, CodecStats)>
+where
+    F: Fn(usize, usize, usize) -> (Vec<Block64>, CodecStats) + Sync,
+{
+    let pool = Pool::current();
+    let chunks = batch_chunks(&pool, group_counts);
+    let parts: Vec<(Vec<Block64>, CodecStats)> = pool
+        .run_map(chunks.len(), 1, |c, _| {
+            let BatchChunk { tensor, lo, hi } = chunks[c];
+            encode(tensor, lo, hi)
+        })
+        .unwrap_or_else(|p| p.resume());
+
+    let mut out: Vec<(Vec<Block64>, CodecStats)> = group_counts
+        .iter()
+        .map(|&n| (Vec::with_capacity(n), CodecStats::default()))
+        .collect();
+    for (c, (blocks, stats)) in chunks.iter().zip(parts) {
+        let (ob, os) = &mut out[c.tensor];
+        ob.extend(blocks);
+        os.merge(&stats);
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::block::encode_group;
+    use crate::pool::{with_pool, PoolBuilder};
     use crate::EccoConfig;
     use ecco_tensor::{synth::SynthSpec, TensorKind};
+    use proptest::prelude::*;
 
     fn meta_for(t: &Tensor) -> TensorMetadata {
         let cfg = EccoConfig {
@@ -295,15 +447,133 @@ mod tests {
 
     #[test]
     fn single_threaded_env_still_correct() {
-        // The shard math must hold for one worker and tiny inputs.
+        // The chunk math must hold for one executor and tiny inputs.
         let t = SynthSpec::for_kind(TensorKind::Weight, 1, 128)
             .seeded(304)
             .generate();
         let meta = meta_for(&t);
-        let (blocks, stats) = encode_groups_parallel(&t, &meta, PatternSelector::MseOptimal);
-        assert_eq!(blocks.len(), 1);
-        assert_eq!(stats.groups, 1);
-        let vals = decode_groups_parallel(&blocks, &meta).unwrap();
-        assert_eq!(vals.len(), 128);
+        let pool = PoolBuilder::new().threads(1).build();
+        with_pool(&pool, || {
+            let (blocks, stats) = encode_groups_parallel(&t, &meta, PatternSelector::MseOptimal);
+            assert_eq!(blocks.len(), 1);
+            assert_eq!(stats.groups, 1);
+            let vals = decode_groups_parallel(&blocks, &meta).unwrap();
+            assert_eq!(vals.len(), 128);
+        });
+    }
+
+    #[test]
+    fn batch_decode_isolates_per_tensor_errors() {
+        let t = SynthSpec::for_kind(TensorKind::Weight, 8, 512)
+            .seeded(305)
+            .generate();
+        let meta = meta_for(&t);
+        let (good, _) = encode_groups_parallel(&t, &meta, PatternSelector::MseOptimal);
+        // A block whose pattern id cannot decode: all-ones header run.
+        let bad = Block64::from_bytes([0xFF; 64]);
+        let mut poisoned = good.clone();
+        poisoned[3] = bad;
+        let per_block_err = decode_group(&bad, &meta).err();
+
+        let results = decode_tensors_batch_with(
+            &[&good, &poisoned, &good],
+            meta.group_size,
+            || (),
+            |(), _ti, b, out| {
+                let (v, _) = decode_group(b, &meta)?;
+                out.extend_from_slice(&v);
+                Ok(())
+            },
+        );
+        assert_eq!(results.len(), 3);
+        let seq = decode_groups_parallel(&good, &meta).unwrap();
+        assert_eq!(results[0].as_ref().unwrap(), &seq);
+        assert_eq!(results[2].as_ref().unwrap(), &seq);
+        match (&results[1], per_block_err) {
+            (Err(e), Some(want)) => assert_eq!(*e, want),
+            other => panic!("poisoned tensor must error like its block: {other:?}"),
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(6))]
+        /// The pool differential: encode/decode pipelines and the batch
+        /// drivers are bit-identical to the sequential reference across
+        /// pool sizes {1,2,4,8} × ragged chunk pins — the determinism
+        /// contract of the persistent scheduler.
+        #[test]
+        fn pipelines_bit_identical_across_pool_shapes(
+            seed in 0u64..200,
+            threads_sel in 0usize..4,
+            chunk in 1usize..40,
+        ) {
+            let threads = [1usize, 2, 4, 8][threads_sel];
+            let t = SynthSpec::for_kind(TensorKind::Weight, 8, 512).seeded(seed).generate();
+            let meta = meta_for(&t);
+
+            // Sequential references, computed on the default pool.
+            let mut seq_blocks = Vec::new();
+            for g in t.groups(128) {
+                seq_blocks.push(encode_group(g, &meta, PatternSelector::MseOptimal).0);
+            }
+            let mut seq_vals = Vec::new();
+            for b in &seq_blocks {
+                seq_vals.extend(decode_group(b, &meta).unwrap().0);
+            }
+
+            let pool = PoolBuilder::new().threads(threads).chunk(chunk).build();
+            with_pool(&pool, || {
+                let (blocks, _) = encode_groups_parallel(&t, &meta, PatternSelector::MseOptimal);
+                assert_eq!(blocks, seq_blocks, "encode diverged (threads {threads} chunk {chunk})");
+                let vals = decode_groups_parallel(&blocks, &meta).unwrap();
+                assert_eq!(vals, seq_vals, "decode diverged (threads {threads} chunk {chunk})");
+
+                // Batch submission == per-tensor loop, bit for bit.
+                let empty: &[Block64] = &[];
+                let batch = decode_tensors_batch_with(
+                    &[&blocks[..], &blocks[..3], empty],
+                    meta.group_size,
+                    || (),
+                    |(), _ti, b, out| {
+                        let (v, _) = decode_group(b, &meta)?;
+                        out.extend_from_slice(&v);
+                        Ok(())
+                    },
+                );
+                assert_eq!(batch[0].as_ref().unwrap(), &seq_vals);
+                assert_eq!(batch[1].as_ref().unwrap(), &seq_vals[..3 * 128]);
+                assert_eq!(batch[2].as_ref().unwrap(), &Vec::<f32>::new());
+            });
+        }
+
+        /// Calibration through an injected pool stays bit-identical to
+        /// the pinned sequential reference — the pool analogue of the
+        /// rayon-era differential tests in `metadata.rs`.
+        #[test]
+        fn calibrate_bit_identical_across_pool_shapes(
+            seed in 0u64..100,
+            threads_sel in 0usize..4,
+            chunk in 1usize..24,
+        ) {
+            let threads = [1usize, 2, 4, 8][threads_sel];
+            let t = SynthSpec::for_kind(TensorKind::Weight, 4, 512).seeded(seed).generate();
+            let cfg = EccoConfig {
+                num_patterns: 8,
+                books_per_pattern: 2,
+                max_calibration_groups: 32,
+                ..EccoConfig::default()
+            };
+            let want = TensorMetadata::calibrate_weighted_seq(
+                &[&t], None, &cfg, PatternSelector::MseOptimal,
+            );
+            let pool = PoolBuilder::new().threads(threads).chunk(chunk).build();
+            let got = with_pool(&pool, || {
+                TensorMetadata::calibrate(&[&t], &cfg, PatternSelector::MseOptimal)
+            });
+            prop_assert_eq!(&got.patterns, &want.patterns, "shared patterns");
+            prop_assert_eq!(&got.books, &want.books, "codebooks");
+            prop_assert_eq!(got.pattern_code.lengths(), want.pattern_code.lengths());
+            prop_assert_eq!(got.tensor_scale, want.tensor_scale);
+        }
     }
 }

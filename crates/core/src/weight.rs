@@ -205,7 +205,9 @@ impl WeightCodec {
     ///
     /// # Panics
     ///
-    /// Panics if the tensor length is not a multiple of the group size.
+    /// Panics if the tensor length is not a multiple of the group size,
+    /// or if this codec was calibrated activation-aware (the weighted
+    /// path is bound to [`WeightCodec::compress`]).
     pub fn compress_parallel(&self, tensor: &Tensor) -> (CompressedTensor, CodecStats) {
         assert!(
             self.act_mags.is_none(),
@@ -225,6 +227,107 @@ impl WeightCodec {
             },
             stats,
         )
+    }
+
+    /// Compresses many tensors in **one pool pass**: every tensor's
+    /// groups enter the shared worker pool as one chunk list, so
+    /// concurrent requests share executors instead of running their
+    /// pipelines back to back (or oversubscribing threads). Results are
+    /// bit-identical to calling [`WeightCodec::compress`] per tensor, in
+    /// order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any tensor's length is not a multiple of the group
+    /// size (checked up front, before any encoding starts), or if this
+    /// codec was calibrated activation-aware — like
+    /// [`WeightCodec::compress_parallel`], the weighted path is bound to
+    /// [`WeightCodec::compress`].
+    pub fn compress_batch(&self, tensors: &[&Tensor]) -> Vec<(CompressedTensor, CodecStats)> {
+        assert!(
+            self.act_mags.is_none(),
+            "activation-aware compression is calibration-bound; use compress()"
+        );
+        let gs = self.meta.group_size;
+        for t in tensors {
+            assert_eq!(t.len() % gs, 0, "tensor not a multiple of group size");
+        }
+        // Per-tensor scale (and hence metadata view) is fixed before
+        // submission; the encode closure only reads.
+        let metas: Vec<TensorMetadata> = tensors
+            .iter()
+            .map(|t| self.meta.with_scale(TensorMetadata::scale_for(t)))
+            .collect();
+        let counts: Vec<usize> = tensors.iter().map(|t| t.len() / gs).collect();
+
+        let encoded = crate::parallel::encode_tensors_batch_with(&counts, |ti, lo, hi| {
+            crate::parallel::encode_run(
+                tensors[ti].data(),
+                &metas[ti],
+                PatternSelector::MseOptimal,
+                lo,
+                hi,
+            )
+        });
+
+        encoded
+            .into_iter()
+            .zip(tensors)
+            .zip(metas)
+            .map(|(((blocks, stats), t), meta)| {
+                (
+                    CompressedTensor {
+                        rows: t.rows(),
+                        cols: t.cols(),
+                        group_size: gs,
+                        tensor_scale: meta.tensor_scale,
+                        blocks,
+                    },
+                    stats,
+                )
+            })
+            .collect()
+    }
+
+    /// Decompresses many tensors in **one pool pass** — the decode twin
+    /// of [`WeightCodec::compress_batch`]. Per-tensor failures stay
+    /// isolated: a corrupted block (or even a panicking worker task)
+    /// poisons only its own tensor's entry, as the first
+    /// [`DecodeError`](crate::block::DecodeError) in block order, while
+    /// the rest of the batch decodes bit-identically to
+    /// [`WeightCodec::decompress`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any tensor's group size mismatches the codec's
+    /// (checked up front).
+    pub fn decompress_batch(
+        &self,
+        cts: &[&CompressedTensor],
+    ) -> Vec<Result<Tensor, crate::block::DecodeError>> {
+        for ct in cts {
+            assert_eq!(ct.group_size, self.meta.group_size, "group size mismatch");
+        }
+        let metas: Vec<TensorMetadata> = cts
+            .iter()
+            .map(|ct| self.meta.with_scale(ct.tensor_scale))
+            .collect();
+        let batch: Vec<&[Block64]> = cts.iter().map(|ct| ct.blocks()).collect();
+        let decoded = crate::parallel::decode_tensors_batch_with(
+            &batch,
+            self.meta.group_size,
+            || (),
+            |(), ti, b, out| {
+                let (v, _) = decode_group(b, &metas[ti])?;
+                out.extend_from_slice(&v);
+                Ok(())
+            },
+        );
+        decoded
+            .into_iter()
+            .zip(cts)
+            .map(|(r, ct)| r.map(|data| Tensor::from_vec(ct.rows, ct.cols, data)))
+            .collect()
     }
 
     /// [`WeightCodec::decompress`] across a thread pool; bit-identical
@@ -380,6 +483,56 @@ mod tests {
         let out_seq = codec.decompress(&ct_seq);
         let out_par = codec.decompress_parallel(&ct_par);
         assert_eq!(out_seq.data(), out_par.data());
+    }
+
+    #[test]
+    fn batch_compress_matches_per_tensor_loop() {
+        let tensors: Vec<_> = (0..5)
+            .map(|i| {
+                SynthSpec::for_kind(TensorKind::Weight, 4, 512)
+                    .seeded(40 + i)
+                    .generate()
+            })
+            .collect();
+        let refs: Vec<&_> = tensors.iter().collect();
+        let codec = WeightCodec::calibrate(&refs, &cfg());
+
+        let batch = codec.compress_batch(&refs);
+        assert_eq!(batch.len(), tensors.len());
+        for (t, (ct, stats)) in tensors.iter().zip(&batch) {
+            let (want_ct, want_stats) = codec.compress(t);
+            assert_eq!(ct.blocks(), want_ct.blocks(), "batch encode diverged");
+            assert_eq!(ct.tensor_scale(), want_ct.tensor_scale());
+            assert_eq!(stats.groups, want_stats.groups);
+            assert!((stats.nmse() - want_stats.nmse()).abs() < 1e-12);
+        }
+
+        let cts: Vec<&_> = batch.iter().map(|(ct, _)| ct).collect();
+        let decoded = codec.decompress_batch(&cts);
+        for ((t, (ct, _)), out) in tensors.iter().zip(&batch).zip(decoded) {
+            let out = out.expect("valid blocks decode");
+            assert_eq!(out.data(), codec.decompress(ct).data());
+            assert_eq!((out.rows(), out.cols()), (t.rows(), t.cols()));
+        }
+    }
+
+    #[test]
+    fn batch_decompress_isolates_corrupt_tensors() {
+        let t = SynthSpec::for_kind(TensorKind::Weight, 8, 512)
+            .seeded(45)
+            .generate();
+        let codec = WeightCodec::calibrate(&[&t], &cfg());
+        let (good, _) = codec.compress(&t);
+        let mut bad = good.clone();
+        bad.blocks[2] = ecco_bits::Block64::from_bytes([0xFF; 64]);
+
+        let out = codec.decompress_batch(&[&good, &bad, &good]);
+        assert!(out[0].is_ok() && out[2].is_ok());
+        assert_eq!(
+            out[0].as_ref().unwrap().data(),
+            codec.decompress(&good).data()
+        );
+        assert!(out[1].is_err(), "corrupt tensor must fail alone");
     }
 
     #[test]

@@ -47,7 +47,7 @@ pub use area::{AreaPowerModel, ComponentArea};
 pub use bitonic::BitonicSorter;
 pub use compressor::HwCompressor;
 pub use paradec::{
-    decode_block_parallel, decode_block_parallel_into, decode_blocks_parallel, DecodeScratch,
-    DecodeStats, ParallelDecoder,
+    decode_block_parallel, decode_block_parallel_into, decode_blocks_parallel,
+    decode_tensors_batch, DecodeScratch, DecodeStats, ParallelDecoder,
 };
 pub use pipeline::{PipelineSpec, StreamSim, StreamStats};

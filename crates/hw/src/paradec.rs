@@ -394,6 +394,43 @@ pub fn decode_blocks_parallel(
     )
 }
 
+/// Decodes **many tensors' block arrays in one pool pass** through the
+/// hardware parallel-decoder model — the batched submission twin of
+/// [`decode_blocks_parallel`], built on
+/// [`ecco_core::parallel::decode_tensors_batch_with`]. Every tensor's
+/// chunks enter the shared persistent pool together, so concurrent
+/// serving requests share decode lanes instead of queueing whole
+/// pipelines behind each other (the paper's many-blocks-in-flight
+/// regime, lifted to many tensors).
+///
+/// `batch` pairs each tensor's blocks with the metadata view to decode
+/// them under (per-tensor scales differ; patterns/books are typically
+/// shared). Per-tensor results are bit-identical to
+/// [`decode_blocks_parallel`] run per tensor, and failures stay
+/// isolated: a corrupted block — or a panicking worker task — yields
+/// that tensor's first [`DecodeError`] in block order while the rest of
+/// the batch decodes normally.
+pub fn decode_tensors_batch(
+    batch: &[(&[Block64], &TensorMetadata)],
+) -> Vec<Result<Vec<f32>, DecodeError>> {
+    let group_size = batch.first().map_or(0, |(_, m)| m.group_size);
+    debug_assert!(
+        batch.iter().all(|(_, m)| m.group_size == group_size),
+        "mixed group sizes in one batch"
+    );
+    let blocks: Vec<&[Block64]> = batch.iter().map(|&(b, _)| b).collect();
+    ecco_core::parallel::decode_tensors_batch_with(
+        &blocks,
+        group_size,
+        || (DecodeScratch::default(), Vec::with_capacity(group_size)),
+        |(scratch, values), ti, b, out| {
+            decode_block_parallel_into(b, batch[ti].1, scratch, values)?;
+            out.extend_from_slice(values);
+            Ok(())
+        },
+    )
+}
+
 /// The seed implementation of the speculative decoder, preserved
 /// bit-for-bit as the baseline the `parallel_decoder` /
 /// `codec_throughput` benches measure the LUT rewrite against. It builds
@@ -621,6 +658,47 @@ mod tests {
     }
 
     #[test]
+    fn tensors_batch_matches_per_tensor_pipeline_and_isolates_errors() {
+        let metas_and_blocks: Vec<(TensorMetadata, Vec<Block64>)> = (0..3)
+            .map(|i| {
+                let t = SynthSpec::for_kind(TensorKind::Weight, 8, 512)
+                    .seeded(200 + i)
+                    .generate();
+                let meta = meta_for(&t);
+                let blocks = t
+                    .groups(128)
+                    .map(|g| encode_group(g, &meta, PatternSelector::MseOptimal).0)
+                    .collect();
+                (meta, blocks)
+            })
+            .collect();
+        let batch: Vec<(&[Block64], &TensorMetadata)> =
+            metas_and_blocks.iter().map(|(m, b)| (&b[..], m)).collect();
+        let results = decode_tensors_batch(&batch);
+        for ((meta, blocks), r) in metas_and_blocks.iter().zip(&results) {
+            assert_eq!(
+                r.as_ref().unwrap(),
+                &decode_blocks_parallel(blocks, meta).unwrap(),
+                "batch diverged from the per-tensor pipeline"
+            );
+        }
+
+        // Corrupt one tensor: only its slot errors, with the same error
+        // the per-block decoder reports first.
+        let (meta0, blocks0) = &metas_and_blocks[0];
+        let mut poisoned = blocks0.clone();
+        poisoned[1] = Block64::from_bytes([0xFF; 64]);
+        let want_err = decode_block_parallel(&poisoned[1], meta0).unwrap_err();
+        let mixed = decode_tensors_batch(&[
+            (&blocks0[..], meta0),
+            (&poisoned[..], meta0),
+            (&blocks0[..], meta0),
+        ]);
+        assert!(mixed[0].is_ok() && mixed[2].is_ok());
+        assert_eq!(mixed[1].as_ref().unwrap_err(), &want_err);
+    }
+
+    #[test]
     fn decode_into_reuses_buffers() {
         let t = SynthSpec::for_kind(TensorKind::Weight, 8, 512)
             .seeded(104)
@@ -674,9 +752,13 @@ mod tests {
             let t = SynthSpec::for_kind(TensorKind::KCache, 4, 512).seeded(seed).generate();
             let meta = meta_for(&t);
             let host_tier = ecco_bits::window_dispatch();
+            let mut blocks = Vec::new();
+            let mut seq_all = Vec::new();
             for g in t.groups(128) {
                 let (block, _) = encode_group(g, &meta, PatternSelector::MinMax);
                 let (seq, _) = ecco_core::decode_group(&block, &meta).unwrap();
+                blocks.push(block);
+                seq_all.extend_from_slice(&seq);
                 let header = ecco_core::block::parse_block_header(&block, &meta).unwrap();
                 let oracle = seed_port::decode(
                     &meta.books[header.kp][header.book_id],
@@ -698,6 +780,37 @@ mod tests {
                 prop_assert_eq!(&pres_s.symbols, &oracle.symbols, "forced-scalar arm diverged from seed port");
                 prop_assert_eq!(pres_s.end_bit, oracle.end_bit);
             }
+
+            // Pool layer: the sharded pipeline and the batched
+            // multi-tensor submission must reproduce the sequential
+            // concatenation bit-for-bit under an injected pool (varied
+            // executor count, ragged chunk pin), on both dispatch arms.
+            let threads = [1usize, 2, 4, 8][(seed % 4) as usize];
+            let chunk = 1 + (seed % 7) as usize;
+            let pool = ecco_core::pool::PoolBuilder::new()
+                .threads(threads)
+                .chunk(chunk)
+                .build();
+            ecco_core::pool::with_pool(&pool, || {
+                let sharded = decode_blocks_parallel(&blocks, &meta).unwrap();
+                assert_eq!(sharded, seq_all, "sharded pipeline diverged under pool");
+                let batch =
+                    decode_tensors_batch(&[(&blocks[..], &meta), (&blocks[..1], &meta)]);
+                assert_eq!(batch[0].as_ref().unwrap(), &seq_all, "batch arm diverged");
+                assert_eq!(
+                    batch[1].as_ref().unwrap(),
+                    &seq_all[..meta.group_size],
+                    "sub-batch diverged"
+                );
+                ecco_bits::set_window_dispatch(ecco_bits::WindowDispatch::Portable);
+                let scalar_batch = decode_tensors_batch(&[(&blocks[..], &meta)]);
+                ecco_bits::set_window_dispatch(host_tier);
+                assert_eq!(
+                    scalar_batch[0].as_ref().unwrap(),
+                    &seq_all,
+                    "forced-scalar batch arm diverged"
+                );
+            });
         }
 
         /// Differential fuzz: random 2..=8-bit codebooks × random raw

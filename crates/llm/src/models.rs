@@ -139,6 +139,17 @@ impl ModelSpec {
         self.kv_heads * self.head_dim
     }
 
+    /// Shape of one request's per-layer K (or V) cache segment after
+    /// `seq` generated tokens: `(seq, kv_dim)`. This is the tensor unit
+    /// the online KV codec compresses per request — and the unit the
+    /// batched multi-tensor submission APIs feed through the shared
+    /// worker pool when many requests are in flight (`kv_dim` is a
+    /// multiple of the codec's 128-value group for every model in the
+    /// zoo; see `examples/batched_serving.rs`).
+    pub fn kv_request_shape(&self, seq: usize) -> (usize, usize) {
+        (seq, self.kv_dim())
+    }
+
     /// Approximate parameter count (projections + embeddings).
     pub fn params(&self) -> u64 {
         let h = self.hidden as u64;
@@ -160,6 +171,24 @@ impl ModelSpec {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn kv_request_shapes_are_group_aligned() {
+        // Every zoo model's per-request KV segment must slice into whole
+        // 128-value codec groups — the invariant the batched serving
+        // path relies on.
+        for m in ModelSpec::figure11c_set() {
+            let (rows, cols) = m.kv_request_shape(2048);
+            assert_eq!(rows, 2048);
+            assert_eq!(
+                cols % 128,
+                0,
+                "{} kv_dim {} not group-aligned",
+                m.name,
+                cols
+            );
+        }
+    }
 
     #[test]
     fn parameter_counts_match_model_names() {

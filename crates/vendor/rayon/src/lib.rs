@@ -1,37 +1,34 @@
-//! Offline vendored subset of the `rayon` API, built on `std::thread::scope`.
+//! Offline vendored subset of the `rayon` API, delegating to the
+//! persistent [`ecco_pool`] worker pool.
 //!
 //! The multi-block codec pipeline only needs order-preserving data
 //! parallelism over slices: `par_iter().map(..).collect()`,
 //! `par_chunks(..)`, and `par_chunks_mut(..).enumerate().for_each(..)`.
-//! This crate implements exactly that surface with eager evaluation —
-//! each parallel operation partitions the index space into one contiguous
-//! range per worker thread and joins in order, so results are
-//! deterministic and identical to the sequential computation.
+//! This crate implements exactly that surface with eager evaluation. The
+//! read-only adapters submit to the current [`ecco_pool::Pool`] (the
+//! thread's [`ecco_pool::with_pool`] binding, or the lazily-started
+//! global pool), so every existing `par_iter` call site shares the
+//! long-lived workers instead of spawning scoped threads per call; index
+//! chunks are claimed dynamically and results are reassembled in index
+//! order, so results stay deterministic and identical to the sequential
+//! computation regardless of pool size or chunking.
 //!
-//! Differences from real rayon: no work stealing (coarse static
-//! partitioning only), no global pool (threads are scoped per call), and
-//! adapters are eager rather than lazy. For the tensor-sized batches the
-//! pipeline feeds through it, static partitioning is within noise of a
-//! stealing scheduler, and scoped spawning costs microseconds per call.
+//! Differences from real rayon: adapters are eager rather than lazy, and
+//! the mutable-chunk adapter (`par_chunks_mut`, no users in this
+//! workspace's hot paths) still partitions statically over scoped
+//! threads. Swapping this stub for the real crates.io rayon is a
+//! one-line manifest change; the pool then keeps serving only the
+//! batched submission APIs in `ecco-core`/`ecco-hw`.
 //!
-//! `RAYON_NUM_THREADS` is honoured; `0`/unset means one worker per core.
+//! `ECCO_THREADS` / `RAYON_NUM_THREADS` size the global pool; `0`/unset
+//! means one executor per core.
 
 #![forbid(unsafe_code)]
 
-use std::num::NonZeroUsize;
-
-/// Number of worker threads parallel operations will use.
+/// Number of executors parallel operations will use: the current
+/// [`ecco_pool::Pool`]'s size (workers plus the submitting thread).
 pub fn current_num_threads() -> usize {
-    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
-        if let Ok(n) = v.parse::<usize>() {
-            if n > 0 {
-                return n;
-            }
-        }
-    }
-    std::thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1)
+    ecco_pool::Pool::current().executors()
 }
 
 /// Runs two closures, potentially in parallel, returning both results.
@@ -49,8 +46,12 @@ where
     })
 }
 
-/// Evaluates `f(i)` for `i in 0..len` across worker threads, returning
+/// Evaluates `f(i)` for `i in 0..len` across the current pool, returning
 /// results in index order. The core primitive behind every adapter here.
+///
+/// Panics in `f` are re-raised on the calling thread with their original
+/// payload, matching the scoped-thread behaviour this stub replaced (the
+/// pool itself survives; see `ecco_pool`).
 fn run_indexed<R, F>(len: usize, f: F) -> Vec<R>
 where
     R: Send,
@@ -59,30 +60,18 @@ where
     if len == 0 {
         return Vec::new();
     }
-    let workers = current_num_threads().min(len);
-    if workers == 1 {
-        return (0..len).map(f).collect();
-    }
-    let chunk = len.div_ceil(workers);
-    let mut parts: Vec<Vec<R>> = Vec::with_capacity(workers);
-    std::thread::scope(|s| {
-        let handles: Vec<_> = (0..workers)
-            .map(|w| {
-                let f = &f;
-                let lo = w * chunk;
-                let hi = ((w + 1) * chunk).min(len);
-                s.spawn(move || (lo..hi).map(f).collect::<Vec<R>>())
-            })
-            .collect();
-        for h in handles {
-            parts.push(h.join().expect("rayon worker panicked"));
+    let pool = ecco_pool::Pool::current();
+    let chunk = pool.chunk_for(len);
+    match pool.run_map(len, chunk, |lo, hi| (lo..hi).map(&f).collect::<Vec<R>>()) {
+        Ok(parts) => {
+            let mut out = Vec::with_capacity(len);
+            for p in parts {
+                out.extend(p);
+            }
+            out
         }
-    });
-    let mut out = Vec::with_capacity(len);
-    for p in parts {
-        out.extend(p);
+        Err(panic) => panic.resume(),
     }
-    out
 }
 
 /// Order-preserving parallel iterator over `&[T]`.
@@ -334,5 +323,21 @@ mod tests {
     fn join_runs_both() {
         let (a, b) = super::join(|| 40, || 2);
         assert_eq!(a + b, 42);
+    }
+
+    #[test]
+    fn adapters_respect_installed_pool() {
+        // A `with_pool` binding must redirect every facade operation —
+        // ragged chunk pin included — without changing results.
+        let pool = ecco_pool::Pool::builder().threads(2).chunk(7).build();
+        ecco_pool::with_pool(&pool, || {
+            assert_eq!(super::current_num_threads(), 2);
+            let xs: Vec<u64> = (0..1000).collect();
+            let doubled: Vec<u64> = xs.par_iter().map(|&x| x * 2).collect();
+            assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+            let sums: Vec<u64> = xs.par_chunks(64).map(|c| c.iter().sum()).collect();
+            assert_eq!(sums.len(), 1000usize.div_ceil(64));
+            assert_eq!(sums.iter().sum::<u64>(), (0..1000).sum::<u64>());
+        });
     }
 }

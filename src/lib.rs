@@ -10,6 +10,7 @@
 //! | [`entropy`] | `ecco-entropy` | entropy stats, length-limited Huffman |
 //! | [`kmeans`] | `ecco-kmeans` | weighted 1-D / vector k-means |
 //! | [`tensor`] | `ecco-tensor` | tensors + synthetic LLM tensor generator |
+//! | [`pool`] | `ecco-pool` | persistent worker pool, batched submission scheduler |
 //! | [`codec`] | `ecco-core` | **the Ecco compression algorithm** |
 //! | [`baselines`] | `ecco-baselines` | RTN / AWQ / GPTQ-R / SmoothQuant / Olive / QuaRot / QoQ |
 //! | [`hw`] | `ecco-hw` | parallel decoder, bitonic sorter, compressor, area/power |
@@ -46,6 +47,7 @@ pub use ecco_hw as hw;
 pub use ecco_kmeans as kmeans;
 pub use ecco_llm as llm;
 pub use ecco_numerics as numerics;
+pub use ecco_pool as pool;
 pub use ecco_sim as sim;
 pub use ecco_tensor as tensor;
 
@@ -56,6 +58,7 @@ pub mod prelude {
         PatternSelector, TensorMetadata, WeightCodec,
     };
     pub use ecco_llm::{DecodeWorkload, ModelSpec};
+    pub use ecco_pool::{with_pool, Pool, PoolBuilder};
     pub use ecco_sim::{DecompressorModel, EnergyModel, ExecScheme, GpuSpec, SimEngine};
     pub use ecco_tensor::{synth::SynthSpec, Tensor, TensorKind};
 }

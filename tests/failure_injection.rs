@@ -166,6 +166,64 @@ fn batched_pipeline_survives_truncated_and_garbage_blocks() {
 }
 
 #[test]
+fn batched_submission_isolates_injected_failures_per_tensor() {
+    // The multi-tensor batch API under the same adversarial inputs as
+    // the single-pipeline test above: truncated (header-only) and
+    // garbage blocks are injected into *some* tensors of a batch, and
+    // each slot must fail or succeed exactly as its own per-block loop
+    // would — on both window-dispatch arms. No panic may escape, and
+    // healthy tensors must decode bit-identically to the sequential
+    // reference regardless of their neighbours.
+    let (meta, t) = test_meta();
+    let good: Vec<Block64> = t
+        .groups(128)
+        .take(8)
+        .map(|g| encode_group(g, &meta, PatternSelector::MseOptimal).0)
+        .collect();
+
+    // Truncated: valid header, no symbol data (decodes, zero-filled).
+    let mut w = BitWriter::new();
+    w.write_bits(0, meta.id_hf_bits);
+    w.write_bits(0x38, 8); // SF = 1.0 in FP8
+    meta.pattern_code.encode_symbol(&mut w, 0);
+    let truncated = Block64::from_writer(w).unwrap();
+    let mut with_truncated = good.clone();
+    with_truncated[4] = truncated;
+
+    // Garbage that fails header parse (all-ones SF decodes to NaN).
+    let mut with_garbage = good.clone();
+    with_garbage[2] = Block64::from_bytes([0xFF; 64]);
+    let want_err = decode_group(&with_garbage[2], &meta).unwrap_err();
+
+    let reference: Vec<f32> = good
+        .iter()
+        .flat_map(|b| decode_group(b, &meta).unwrap().0)
+        .collect();
+    let truncated_reference: Vec<f32> = with_truncated
+        .iter()
+        .flat_map(|b| decode_group(b, &meta).unwrap().0)
+        .collect();
+
+    let host_tier = window_dispatch();
+    for force_scalar in [false, true] {
+        if force_scalar {
+            set_window_dispatch(WindowDispatch::Portable);
+        }
+        let results = ecco::hw::decode_tensors_batch(&[
+            (&good, &meta),
+            (&with_garbage, &meta),
+            (&with_truncated, &meta),
+            (&good, &meta),
+        ]);
+        set_window_dispatch(host_tier);
+        assert_eq!(results[0].as_ref().unwrap(), &reference);
+        assert_eq!(results[1].as_ref().unwrap_err(), &want_err);
+        assert_eq!(results[2].as_ref().unwrap(), &truncated_reference);
+        assert_eq!(results[3].as_ref().unwrap(), &reference);
+    }
+}
+
+#[test]
 fn activation_codec_handles_extremes() {
     let codec = ActivationCodec::new();
     // Saturated FP16 values, constant groups, alternating signs.
