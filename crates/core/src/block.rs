@@ -43,28 +43,135 @@ pub struct EncodedGroupInfo {
     pub padded_outliers: usize,
 }
 
-/// Errors surfaced when decoding corrupted blocks.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum DecodeError {
+/// The failure classes of the decode/ingest path — the *what* of a
+/// [`DecodeError`] (the *where* lives on the error itself).
+///
+/// Every variant is reachable from a test; `tests/fuzz_ingest.rs` audits
+/// the full taxonomy against [`DecodeErrorKind::ALL`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DecodeErrorKind {
     /// The `ID_KP` field did not decode to a known pattern.
     BadPatternId,
     /// The `ID_HF` field named a codebook beyond `H`.
     BadBookId,
     /// The scale-factor byte decoded to NaN.
     BadScaleFactor,
+    /// A revived codebook's serialized fields do not cohere (Kraft
+    /// violation, `max_len` disagreeing with its lengths, an alphabet
+    /// wider than the symbol space, or code lengths the parallel decoder
+    /// cannot segment) — decoding refuses instead of silently
+    /// zero-filling through an all-invalid table or indexing out of
+    /// bounds.
+    CorruptCodebook,
+    /// Revived tensor metadata is structurally inconsistent (fewer
+    /// codebook rows than patterns, an `ID_HF` width that cannot fit a
+    /// block header, a corrupt pattern-id code, …).
+    CorruptMetadata,
+    /// A serialized stream ended before its declared contents: a tensor
+    /// whose block array stops short of its shape, or a wire snapshot
+    /// truncated mid-field.
+    TruncatedStream,
+    /// A length field lies: declared counts disagree with the payload
+    /// that is actually present (block count vs tensor shape, group size
+    /// mismatch, trailing or missing wire bytes).
+    LengthMismatch,
     /// A pool worker panicked while decoding this tensor's batch slice;
     /// the panic was contained to this result (see
     /// [`crate::parallel::decode_tensors_batch_with`]).
     WorkerPanic,
 }
 
+impl DecodeErrorKind {
+    /// Every kind, in precedence/documentation order — the audit test
+    /// enumerates this to prove the whole taxonomy is constructible.
+    pub const ALL: [DecodeErrorKind; 8] = [
+        DecodeErrorKind::BadPatternId,
+        DecodeErrorKind::BadBookId,
+        DecodeErrorKind::BadScaleFactor,
+        DecodeErrorKind::CorruptCodebook,
+        DecodeErrorKind::CorruptMetadata,
+        DecodeErrorKind::TruncatedStream,
+        DecodeErrorKind::LengthMismatch,
+        DecodeErrorKind::WorkerPanic,
+    ];
+
+    fn describe(self) -> &'static str {
+        match self {
+            DecodeErrorKind::BadPatternId => "invalid pattern id",
+            DecodeErrorKind::BadBookId => "invalid codebook id",
+            DecodeErrorKind::BadScaleFactor => "scale factor is NaN",
+            DecodeErrorKind::CorruptCodebook => "corrupt revived codebook",
+            DecodeErrorKind::CorruptMetadata => "corrupt revived metadata",
+            DecodeErrorKind::TruncatedStream => "stream truncated",
+            DecodeErrorKind::LengthMismatch => "length field mismatch",
+            DecodeErrorKind::WorkerPanic => "decode worker panicked",
+        }
+    }
+}
+
+/// A located decode failure: what went wrong ([`DecodeErrorKind`]) plus
+/// where — the batch index of the tensor and the block index within its
+/// stream, each filled in by the innermost driver that knows it.
+///
+/// Location is attached with [`DecodeError::at_block`] /
+/// [`DecodeError::at_tensor`], which only fill unset fields, so an error
+/// located at its source (e.g. a truncation at block `n`) survives
+/// unchanged through the batch drivers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DecodeError {
+    /// The failure class.
+    pub kind: DecodeErrorKind,
+    /// Batch index of the failing tensor, when decoded through a batch
+    /// driver.
+    pub tensor: Option<usize>,
+    /// Block index within the tensor's stream, when known.
+    pub block: Option<usize>,
+}
+
+impl DecodeError {
+    /// An unlocated error of the given kind.
+    pub const fn new(kind: DecodeErrorKind) -> DecodeError {
+        DecodeError {
+            kind,
+            tensor: None,
+            block: None,
+        }
+    }
+
+    /// Fills in the block index unless an inner frame already located it.
+    #[must_use]
+    pub fn at_block(mut self, block: usize) -> DecodeError {
+        self.block.get_or_insert(block);
+        self
+    }
+
+    /// Fills in the tensor's batch index unless already located.
+    #[must_use]
+    pub fn at_tensor(mut self, tensor: usize) -> DecodeError {
+        self.tensor.get_or_insert(tensor);
+        self
+    }
+
+    /// The failure class (location-independent).
+    pub const fn kind(&self) -> DecodeErrorKind {
+        self.kind
+    }
+}
+
+impl From<DecodeErrorKind> for DecodeError {
+    fn from(kind: DecodeErrorKind) -> DecodeError {
+        DecodeError::new(kind)
+    }
+}
+
 impl std::fmt::Display for DecodeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            DecodeError::BadPatternId => write!(f, "invalid pattern id"),
-            DecodeError::BadBookId => write!(f, "invalid codebook id"),
-            DecodeError::BadScaleFactor => write!(f, "scale factor is NaN"),
-            DecodeError::WorkerPanic => write!(f, "decode worker panicked"),
+        write!(f, "{}", self.kind.describe())?;
+        match (self.tensor, self.block) {
+            (Some(t), Some(b)) => write!(f, " (tensor {t}, block {b})"),
+            (Some(t), None) => write!(f, " (tensor {t})"),
+            (None, Some(b)) => write!(f, " (block {b})"),
+            (None, None) => Ok(()),
         }
     }
 }
@@ -285,16 +392,48 @@ pub struct BlockHeader {
     pub data_start: usize,
 }
 
+/// Maximum believable `ID_HF` field width: 2^16 codebooks per pattern is
+/// far past any real configuration, so wider values only arise from
+/// corrupt revived metadata.
+const MAX_ID_HF_BITS: u32 = 16;
+
+/// Validates a revived *data* codebook before decoding through it.
+///
+/// The Ecco format constrains data codes to lengths `2..=8` over at most
+/// [`crate::pattern::SYMBOL_COUNT`] symbols (the parallel-decode
+/// constraint of the paper); a revived book outside that envelope — or
+/// one whose serialized fields do not heal into a canonical code at all —
+/// is reported as [`DecodeErrorKind::CorruptCodebook`]. Both the
+/// sequential decoder and the hardware model apply this same predicate,
+/// so the two arms agree error-for-error on corrupt metadata instead of
+/// one panicking where the other zero-fills.
+pub fn validate_data_book(book: &ecco_entropy::Codebook) -> Result<(), DecodeError> {
+    if !book.revival_coherent()
+        || book.num_symbols() > crate::pattern::SYMBOL_COUNT
+        || book.max_len() > 8
+        || book.lengths().iter().any(|&l| l < 2)
+    {
+        return Err(DecodeErrorKind::CorruptCodebook.into());
+    }
+    Ok(())
+}
+
 /// Parses and validates a block's header fields against `meta`.
 ///
 /// # Errors
 ///
-/// [`DecodeError`]s in the same precedence order every decoder reports:
-/// bad pattern id, then bad book id, then NaN scale factor.
+/// Structural [`DecodeErrorKind::CorruptMetadata`] checks come first (an
+/// `ID_HF` width no real configuration produces, a corrupt pattern-id
+/// code, a codebook table with fewer rows than patterns), then the
+/// per-block field errors in the same precedence order every decoder
+/// reports: bad pattern id, then bad book id, then NaN scale factor.
 pub fn parse_block_header(
     block: &Block64,
     meta: &TensorMetadata,
 ) -> Result<BlockHeader, DecodeError> {
+    if meta.id_hf_bits > MAX_ID_HF_BITS || !meta.pattern_code.revival_coherent() {
+        return Err(DecodeErrorKind::CorruptMetadata.into());
+    }
     let mut r = block.reader();
     let book_id = if meta.id_hf_bits > 0 {
         r.read_bits(meta.id_hf_bits).expect("block holds header") as usize
@@ -305,15 +444,19 @@ pub fn parse_block_header(
     let kp = meta
         .pattern_code
         .decode_symbol(&mut r)
-        .ok_or(DecodeError::BadPatternId)? as usize;
+        .ok_or(DecodeError::new(DecodeErrorKind::BadPatternId))? as usize;
     if kp >= meta.patterns.len() {
-        return Err(DecodeError::BadPatternId);
+        return Err(DecodeErrorKind::BadPatternId.into());
     }
-    if book_id >= meta.books[kp].len() {
-        return Err(DecodeError::BadBookId);
+    let books = meta
+        .books
+        .get(kp)
+        .ok_or(DecodeError::new(DecodeErrorKind::CorruptMetadata))?;
+    if book_id >= books.len() {
+        return Err(DecodeErrorKind::BadBookId.into());
     }
     if F8E4M3::from_bits(sf_bits).is_nan() {
-        return Err(DecodeError::BadScaleFactor);
+        return Err(DecodeErrorKind::BadScaleFactor.into());
     }
     Ok(BlockHeader {
         book_id,
@@ -346,6 +489,7 @@ pub fn decode_group(
 ) -> Result<(Vec<f32>, DecodedGroupInfo), DecodeError> {
     let header = parse_block_header(block, meta)?;
     let book = &meta.books[header.kp][header.book_id];
+    validate_data_book(book)?;
     let pattern = &meta.patterns[header.kp];
     let mut r = block.reader();
     r.seek(header.data_start);
@@ -591,7 +735,10 @@ mod tests {
         bytes[0] |= 0x3F; // high 6 bits of SF
         bytes[1] |= 0xC0; // low 2 bits of SF
         let bad = Block64::from_bytes(bytes);
-        assert_eq!(decode_group(&bad, &meta), Err(DecodeError::BadScaleFactor));
+        let err = decode_group(&bad, &meta).unwrap_err();
+        assert_eq!(err.kind, DecodeErrorKind::BadScaleFactor);
+        assert_eq!(err, DecodeErrorKind::BadScaleFactor.into());
+        assert_eq!(err.to_string(), "scale factor is NaN");
     }
 
     #[test]

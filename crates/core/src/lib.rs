@@ -79,19 +79,21 @@ pub mod pattern;
 pub mod pool;
 pub mod select;
 pub mod weight;
+pub mod wire;
 
 pub use activation::{ActivationBlock, ActivationCodec};
 pub use adaptive::{AdaptiveBlock, AdaptiveCodec, AdaptivePolicy, AdaptiveStats, AdaptiveTensor};
 pub use block::{
     decode_group, encode_group, encode_group_scratch, encode_group_unpadded,
     encode_group_unpadded_scratch, encode_group_weighted_scratch, encode_group_with_pattern,
-    parse_block_header, BlockHeader, EncodedGroupInfo,
+    parse_block_header, validate_data_book, BlockHeader, DecodeError, DecodeErrorKind,
+    EncodedGroupInfo,
 };
 pub use group::{normalize_group, NormalizedGroup};
 pub use kv::KvCodec;
 pub use metadata::{PatternSelector, TensorMetadata};
 pub use metrics::CodecStats;
-pub use parallel::{decode_groups_parallel, encode_groups_parallel};
+pub use parallel::{decode_groups_parallel, encode_groups_parallel, BatchOutcome, RecoveryPolicy};
 pub use pattern::{KmeansPattern, PatternBoundaries, NUM_CENTROIDS, SCALE_SYMBOL, SYMBOL_COUNT};
 pub use pool::{with_pool, Pool, PoolBuilder};
 pub use select::{select_pattern_ref, GroupScratch};

@@ -257,6 +257,30 @@ impl TensorMetadata {
         pattern_bytes + book_bytes + pattern_code_bytes + 1 // +1: tensor scale exp
     }
 
+    /// Assembles metadata from revived wire-format parts (see
+    /// [`crate::wire`]). The derived caches start empty, exactly as
+    /// deserialization leaves them, and self-heal on first use; the parts
+    /// themselves must already be validated by the caller.
+    pub(crate) fn from_wire_parts(
+        tensor_scale: Po2Scale,
+        patterns: Vec<KmeansPattern>,
+        books: Vec<Vec<Codebook>>,
+        pattern_code: Codebook,
+        id_hf_bits: u32,
+        group_size: usize,
+    ) -> TensorMetadata {
+        TensorMetadata {
+            tensor_scale,
+            patterns,
+            books,
+            pattern_code,
+            id_hf_bits,
+            group_size,
+            len_tables: OnceLock::new(),
+            bounds: OnceLock::new(),
+        }
+    }
+
     /// Restores the non-serialized encode/decode tables after
     /// deserialization (or after replacing `books` in place).
     pub fn rebuild_tables(&mut self) {

@@ -45,6 +45,17 @@ impl KmeansPattern {
         KmeansPattern { centroids }
     }
 
+    /// Non-panicking revival constructor for deserialization paths:
+    /// returns `None` when any centroid is non-finite or the array is not
+    /// sorted ascending — the invariants [`KmeansPattern::new`] asserts.
+    /// Untrusted snapshot bytes (see `ecco_core::wire`) must come through
+    /// here so a corrupt pattern surfaces as a typed error, not a panic.
+    pub fn from_revived(centroids: [f32; NUM_CENTROIDS]) -> Option<KmeansPattern> {
+        let sorted_finite =
+            centroids.iter().all(|c| c.is_finite()) && centroids.windows(2).all(|w| w[0] <= w[1]);
+        sorted_finite.then_some(KmeansPattern { centroids })
+    }
+
     /// Fits a pattern to one group's normalized non-absmax values via
     /// weighted 1-D k-means (paper step 3). `weights` carries the
     /// activation-aware importance; `None` = uniform.

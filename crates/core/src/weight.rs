@@ -4,9 +4,12 @@ use ecco_bits::Block64;
 use ecco_tensor::Tensor;
 use serde::{Deserialize, Serialize};
 
-use crate::block::{decode_group, encode_group_scratch, encode_group_weighted_scratch};
+use crate::block::{
+    decode_group, encode_group_scratch, encode_group_weighted_scratch, DecodeError, DecodeErrorKind,
+};
 use crate::metadata::{PatternSelector, TensorMetadata};
 use crate::metrics::CodecStats;
+use crate::parallel::{BatchOutcome, RecoveryPolicy};
 use crate::select::GroupScratch;
 use crate::EccoConfig;
 
@@ -52,6 +55,12 @@ impl CompressedTensor {
     /// Original column count.
     pub fn cols(&self) -> usize {
         self.cols
+    }
+
+    /// Values per group this tensor was compressed at (128 in the 4×
+    /// format).
+    pub fn group_size(&self) -> usize {
+        self.group_size
     }
 
     /// The compressed payload size in bytes (blocks only; tensor metadata
@@ -293,7 +302,7 @@ impl WeightCodec {
     /// of [`WeightCodec::compress_batch`]. Per-tensor failures stay
     /// isolated: a corrupted block (or even a panicking worker task)
     /// poisons only its own tensor's entry, as the first
-    /// [`DecodeError`](crate::block::DecodeError) in block order, while
+    /// [`DecodeError`] in block order, while
     /// the rest of the batch decodes bit-identically to
     /// [`WeightCodec::decompress`].
     ///
@@ -328,6 +337,82 @@ impl WeightCodec {
             .zip(cts)
             .map(|(r, ct)| r.map(|data| Tensor::from_vec(ct.rows, ct.cols, data)))
             .collect()
+    }
+
+    /// Skip-and-continue batched decompression: one pool pass over every
+    /// tensor, returning a per-tensor [`BatchOutcome`] report instead of
+    /// failing slots outright — the ingest entry point where one bad
+    /// frame must not kill the batch.
+    ///
+    /// Unlike [`WeightCodec::decompress_batch`], nothing panics on
+    /// malformed inputs: a tensor whose group size disagrees with the
+    /// codec's, or whose block count disagrees with its shape, reports a
+    /// located [`DecodeErrorKind::LengthMismatch`] /
+    /// [`DecodeErrorKind::TruncatedStream`] without touching its blocks.
+    /// Healthy tensors decode bit-identically to the per-tensor loop;
+    /// under [`RecoveryPolicy::SalvageBlocks`] corrupt blocks are
+    /// zero-filled and reported individually
+    /// ([`BatchOutcome::Salvaged`]).
+    pub fn decompress_batch_report(
+        &self,
+        cts: &[&CompressedTensor],
+        policy: RecoveryPolicy,
+    ) -> Vec<BatchOutcome> {
+        let gs = self.meta.group_size;
+        // Shape screening: structurally inconsistent tensors fail up
+        // front (located at their batch slot) and are excluded from the
+        // pool pass by feeding an empty block list in their place.
+        let screened: Vec<Option<DecodeError>> = cts
+            .iter()
+            .enumerate()
+            .map(|(ti, ct)| {
+                let declared = ct.rows * ct.cols;
+                if ct.group_size != gs || declared % gs != 0 {
+                    Some(DecodeError::new(DecodeErrorKind::LengthMismatch).at_tensor(ti))
+                } else if ct.blocks.len() * gs < declared {
+                    Some(
+                        DecodeError::new(DecodeErrorKind::TruncatedStream)
+                            .at_block(ct.blocks.len())
+                            .at_tensor(ti),
+                    )
+                } else if ct.blocks.len() * gs > declared {
+                    Some(
+                        DecodeError::new(DecodeErrorKind::LengthMismatch)
+                            .at_block(ct.blocks.len())
+                            .at_tensor(ti),
+                    )
+                } else {
+                    None
+                }
+            })
+            .collect();
+        let metas: Vec<TensorMetadata> = cts
+            .iter()
+            .map(|ct| self.meta.with_scale(ct.tensor_scale))
+            .collect();
+        let empty: &[Block64] = &[];
+        let batch: Vec<&[Block64]> = cts
+            .iter()
+            .zip(&screened)
+            .map(|(ct, s)| if s.is_some() { empty } else { ct.blocks() })
+            .collect();
+        let mut out = crate::parallel::decode_tensors_batch_report_with(
+            &batch,
+            gs,
+            policy,
+            || (),
+            |(), ti, b, out| {
+                let (v, _) = decode_group(b, &metas[ti])?;
+                out.extend_from_slice(&v);
+                Ok(())
+            },
+        );
+        for (slot, s) in out.iter_mut().zip(screened) {
+            if let Some(e) = s {
+                *slot = BatchOutcome::Failed(e);
+            }
+        }
+        out
     }
 
     /// [`WeightCodec::decompress`] across a thread pool; bit-identical
@@ -533,6 +618,69 @@ mod tests {
             codec.decompress(&good).data()
         );
         assert!(out[1].is_err(), "corrupt tensor must fail alone");
+    }
+
+    #[test]
+    fn batch_report_isolates_and_salvages() {
+        let t = SynthSpec::for_kind(TensorKind::Weight, 8, 512)
+            .seeded(46)
+            .generate();
+        let codec = WeightCodec::calibrate(&[&t], &cfg());
+        let (good, _) = codec.compress(&t);
+        let mut bad = good.clone();
+        bad.blocks[2] = ecco_bits::Block64::from_bytes([0xFF; 64]);
+        let reference = codec.decompress(&good);
+
+        // FailTensor: the corrupt tensor fails with a located error, the
+        // healthy neighbours are bit-identical to the per-tensor loop.
+        let report =
+            codec.decompress_batch_report(&[&good, &bad, &good], RecoveryPolicy::default());
+        assert_eq!(report[0].values().unwrap(), reference.data());
+        assert_eq!(report[2].values().unwrap(), reference.data());
+        match &report[1] {
+            BatchOutcome::Failed(e) => {
+                assert_eq!((e.tensor, e.block), (Some(1), Some(2)));
+            }
+            other => panic!("expected failure, got {other:?}"),
+        }
+
+        // SalvageBlocks: only block 2's group is zeroed.
+        let report = codec.decompress_batch_report(&[&good, &bad], RecoveryPolicy::SalvageBlocks);
+        match &report[1] {
+            BatchOutcome::Salvaged { values, bad_blocks } => {
+                let gs = codec.metadata().group_size;
+                let mut want = reference.data().to_vec();
+                want[2 * gs..3 * gs].fill(0.0);
+                assert_eq!(values, &want);
+                assert_eq!(bad_blocks.len(), 1);
+                assert_eq!(
+                    (bad_blocks[0].tensor, bad_blocks[0].block),
+                    (Some(1), Some(2))
+                );
+            }
+            other => panic!("expected salvage, got {other:?}"),
+        }
+
+        // Shape lies never panic: a truncated block array and a group-size
+        // mismatch each fail their own slot with the right kind.
+        let mut short = good.clone();
+        short.blocks.pop();
+        let mut wrong_gs = good.clone();
+        wrong_gs.group_size = 64;
+        let report = codec
+            .decompress_batch_report(&[&short, &wrong_gs, &good], RecoveryPolicy::SalvageBlocks);
+        match &report[0] {
+            BatchOutcome::Failed(e) => {
+                assert_eq!(e.kind, DecodeErrorKind::TruncatedStream);
+                assert_eq!((e.tensor, e.block), (Some(0), Some(short.blocks.len())));
+            }
+            other => panic!("short tensor: {other:?}"),
+        }
+        match &report[1] {
+            BatchOutcome::Failed(e) => assert_eq!(e.kind, DecodeErrorKind::LengthMismatch),
+            other => panic!("group-size lie: {other:?}"),
+        }
+        assert_eq!(report[2].values().unwrap(), reference.data());
     }
 
     #[test]

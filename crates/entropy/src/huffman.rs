@@ -109,6 +109,18 @@ fn package_merge(weights: &[u64], max_len: u8) -> Vec<u8> {
     lengths
 }
 
+/// The resolved decode table plus a memoized coherence verdict.
+///
+/// `coherent` is `false` when the serialized fields could not be healed
+/// into a valid canonical code — the table is then all-invalid and
+/// [`Codebook::revival_coherent`] lets callers surface a typed error
+/// instead of decoding nothing.
+#[derive(Clone, Debug)]
+struct DecodeTable {
+    lut: Vec<(u16, u8)>,
+    coherent: bool,
+}
+
 /// The full `(symbol, length)` decode table over `max_len`-bit windows —
 /// derived purely from the serialized fields, so it can be rebuilt after
 /// deserialization.
@@ -145,12 +157,13 @@ pub struct Codebook {
     codes: Vec<u16>,
     max_len: u8,
     /// Lookup table indexed by a `max_len`-bit window: `(symbol, length)`,
-    /// with length 0 marking an invalid prefix. Built eagerly by the
-    /// constructors, but held in a `OnceLock` so a freshly deserialized
-    /// book (skipped fields default to empty) self-heals it on first
-    /// decode instead of indexing an empty table.
+    /// with length 0 marking an invalid prefix, plus the memoized verdict
+    /// of the heal. Built eagerly by the constructors, but held in a
+    /// `OnceLock` so a freshly deserialized book (skipped fields default
+    /// to empty) self-heals it on first decode instead of indexing an
+    /// empty table.
     #[serde(skip)]
-    lut: OnceLock<Vec<(u16, u8)>>,
+    lut: OnceLock<DecodeTable>,
     /// Lazily-built parallel-decoder chain table (256 KiB), shared across
     /// clones of this book via the `Arc`. See [`Codebook::segment_lut`].
     #[serde(skip)]
@@ -240,8 +253,11 @@ impl Codebook {
         }
 
         let lut = OnceLock::new();
-        lut.set(build_decode_lut(lengths, &codes, max_len))
-            .expect("fresh cell");
+        lut.set(DecodeTable {
+            lut: build_decode_lut(lengths, &codes, max_len),
+            coherent: true,
+        })
+        .expect("fresh cell");
         Ok(Codebook {
             lengths: lengths.to_vec(),
             codes,
@@ -249,6 +265,23 @@ impl Codebook {
             lut,
             seg_lut: OnceLock::new(),
         })
+    }
+
+    /// Reconstructs a codebook from its three serialized fields exactly as
+    /// deserialization does: nothing is validated up front, the derived
+    /// decode tables start empty and self-heal (or refuse, see
+    /// [`Codebook::revival_coherent`]) on first use.
+    ///
+    /// This is the revival entry point for wire formats and fuzz harnesses
+    /// that materialize books from untrusted bytes.
+    pub fn from_serialized_parts(lengths: Vec<u8>, codes: Vec<u16>, max_len: u8) -> Codebook {
+        Codebook {
+            lengths,
+            codes,
+            max_len,
+            lut: OnceLock::new(),
+            seg_lut: OnceLock::new(),
+        }
     }
 
     /// Clears the derived decode tables (they are not serialized),
@@ -273,19 +306,36 @@ impl Codebook {
     /// `max_len` disagreeing with its lengths) gets an all-invalid table
     /// instead: it decodes nothing, rather than panicking mid-stream.
     #[inline]
-    fn decode_lut(&self) -> &[(u16, u8)] {
+    fn decode_table(&self) -> &DecodeTable {
         self.lut.get_or_init(|| {
             Codebook::from_lengths(&self.lengths)
                 .ok()
                 .filter(|b| b.max_len == self.max_len)
                 .and_then(|b| b.lut.into_inner())
-                .unwrap_or_else(|| {
+                .unwrap_or_else(|| DecodeTable {
                     // `clamp` only bounds the allocation for a corrupt
                     // out-of-range `max_len`; every constructible book
                     // has 1 <= max_len <= 15.
-                    vec![(0u16, 0u8); 1usize << self.max_len.clamp(1, 15)]
+                    lut: vec![(0u16, 0u8); 1usize << self.max_len.clamp(1, 15)],
+                    coherent: false,
                 })
         })
+    }
+
+    #[inline]
+    fn decode_lut(&self) -> &[(u16, u8)] {
+        &self.decode_table().lut
+    }
+
+    /// Whether this book's serialized fields heal into a valid canonical
+    /// code. `false` means the lengths violate the Kraft inequality, are
+    /// out of bounds, or disagree with the serialized `max_len`: the
+    /// decode table is then all-invalid (every decode returns `None`),
+    /// and ingest paths should surface a typed corrupt-codebook error
+    /// instead of silently zero-filling. The verdict is memoized with the
+    /// healed table, so the check is one atomic load after first use.
+    pub fn revival_coherent(&self) -> bool {
+        self.decode_table().coherent
     }
 
     /// The parallel-decoder chain table for this book, built on first use
@@ -330,6 +380,13 @@ impl Codebook {
     #[inline]
     pub fn code(&self, sym: u16) -> u16 {
         self.codes[sym as usize]
+    }
+
+    /// The per-symbol canonical code vector, aligned with
+    /// [`Codebook::lengths`] — the third serialized field wire formats
+    /// carry alongside the lengths and `max_len`.
+    pub fn codes(&self) -> &[u16] {
+        &self.codes
     }
 
     /// Total encoded length in bits of a symbol sequence.
@@ -483,6 +540,7 @@ mod tests {
             seg_lut: OnceLock::new(),
         };
         assert!(revived.lut.get().is_none(), "test must start table-less");
+        assert!(revived.revival_coherent(), "healthy revival must cohere");
 
         // First decode goes straight through the healed table.
         let mut w = BitWriter::new();
@@ -538,6 +596,10 @@ mod tests {
         let mut r = BitReader::new(&bytes);
         assert_eq!(bad_codes.decode_symbol(&mut r), Some(0));
         assert_eq!(bad_codes.decode_symbol(&mut r), Some(3));
+        assert!(
+            bad_codes.revival_coherent(),
+            "codes are derived; lengths alone decide coherence"
+        );
 
         // Kraft-violating lengths: all-invalid table, every decode None.
         let bad_lengths = Codebook {
@@ -550,6 +612,10 @@ mod tests {
         let mut r = BitReader::new(&bytes);
         assert_eq!(bad_lengths.decode_symbol(&mut r), None);
         assert_eq!(bad_lengths.decode_window(0), None);
+        assert!(
+            !bad_lengths.revival_coherent(),
+            "Kraft-violating revival must report incoherence"
+        );
 
         // max_len disagreeing with the lengths: same graceful refusal —
         // including values past the 15-bit cap and past the shift width,
@@ -565,6 +631,7 @@ mod tests {
             let mut r = BitReader::new(&bytes);
             assert_eq!(bad_max.decode_symbol(&mut r), None, "max_len {bad}");
             assert_eq!(bad_max.decode_window(u64::MAX), None, "max_len {bad}");
+            assert!(!bad_max.revival_coherent(), "max_len {bad} must not cohere");
         }
     }
 

@@ -48,6 +48,6 @@ pub use bitonic::BitonicSorter;
 pub use compressor::HwCompressor;
 pub use paradec::{
     decode_block_parallel, decode_block_parallel_into, decode_blocks_parallel,
-    decode_tensors_batch, DecodeScratch, DecodeStats, ParallelDecoder,
+    decode_tensors_batch, decode_tensors_batch_report, DecodeScratch, DecodeStats, ParallelDecoder,
 };
 pub use pipeline::{PipelineSpec, StreamSim, StreamStats};

@@ -324,7 +324,13 @@ pub fn decode_block_parallel_into(
     let scale_mag = scale_signed.abs();
     let pattern = &meta.patterns[header.kp];
 
-    let decoder = ParallelDecoder::new(&meta.books[header.kp][header.book_id]);
+    // Same revival predicate as the sequential decoder: a corrupt revived
+    // book surfaces a typed error here instead of panicking in the
+    // SegmentLut build (lengths outside 2..=8) or indexing past the
+    // centroid table (alphabet wider than the symbol space).
+    let book = &meta.books[header.kp][header.book_id];
+    ecco_core::validate_data_book(book)?;
+    let decoder = ParallelDecoder::new(book);
     let stats = decoder.decode_into(
         block,
         header.data_start,
@@ -422,6 +428,37 @@ pub fn decode_tensors_batch(
     ecco_core::parallel::decode_tensors_batch_with(
         &blocks,
         group_size,
+        || (DecodeScratch::default(), Vec::with_capacity(group_size)),
+        |(scratch, values), ti, b, out| {
+            decode_block_parallel_into(b, batch[ti].1, scratch, values)?;
+            out.extend_from_slice(values);
+            Ok(())
+        },
+    )
+}
+
+/// Skip-and-continue batched decode through the hardware model: like
+/// [`decode_tensors_batch`], but returns a per-tensor
+/// [`BatchOutcome`](ecco_core::BatchOutcome) report instead of failing a
+/// tensor's slot at its first corrupt block. Under
+/// [`RecoveryPolicy::SalvageBlocks`](ecco_core::RecoveryPolicy) only the
+/// corrupt blocks' groups are zero-filled, each reported with its located
+/// error; healthy tensors stay bit-identical to
+/// [`decode_blocks_parallel`] run per tensor.
+pub fn decode_tensors_batch_report(
+    batch: &[(&[Block64], &TensorMetadata)],
+    policy: ecco_core::RecoveryPolicy,
+) -> Vec<ecco_core::BatchOutcome> {
+    let group_size = batch.first().map_or(0, |(_, m)| m.group_size);
+    debug_assert!(
+        batch.iter().all(|(_, m)| m.group_size == group_size),
+        "mixed group sizes in one batch"
+    );
+    let blocks: Vec<&[Block64]> = batch.iter().map(|&(b, _)| b).collect();
+    ecco_core::parallel::decode_tensors_batch_report_with(
+        &blocks,
+        group_size,
+        policy,
         || (DecodeScratch::default(), Vec::with_capacity(group_size)),
         |(scratch, values), ti, b, out| {
             decode_block_parallel_into(b, batch[ti].1, scratch, values)?;
@@ -695,7 +732,35 @@ mod tests {
             (&blocks0[..], meta0),
         ]);
         assert!(mixed[0].is_ok() && mixed[2].is_ok());
-        assert_eq!(mixed[1].as_ref().unwrap_err(), &want_err);
+        let got = mixed[1].as_ref().unwrap_err();
+        assert_eq!(got.kind, want_err.kind);
+        assert_eq!(
+            (got.tensor, got.block),
+            (Some(1), Some(1)),
+            "batch error must locate the bad tensor and block"
+        );
+
+        // The report API: salvage zero-fills only the bad block.
+        let report = decode_tensors_batch_report(
+            &[(&blocks0[..], meta0), (&poisoned[..], meta0)],
+            ecco_core::RecoveryPolicy::SalvageBlocks,
+        );
+        let healthy = decode_blocks_parallel(blocks0, meta0).unwrap();
+        assert_eq!(report[0].values().unwrap(), &healthy);
+        match &report[1] {
+            ecco_core::BatchOutcome::Salvaged { values, bad_blocks } => {
+                let gs = meta0.group_size;
+                let mut want = healthy.clone();
+                want[gs..2 * gs].fill(0.0);
+                assert_eq!(values, &want);
+                assert_eq!(bad_blocks.len(), 1);
+                assert_eq!(
+                    (bad_blocks[0].tensor, bad_blocks[0].block),
+                    (Some(1), Some(1))
+                );
+            }
+            other => panic!("expected salvage, got {other:?}"),
+        }
     }
 
     #[test]

@@ -72,8 +72,16 @@ impl ProptestConfig {
 impl Default for ProptestConfig {
     fn default() -> ProptestConfig {
         // Upstream defaults to 256; 64 keeps debug-profile CI fast while
-        // still exercising the properties.
-        ProptestConfig { cases: 64 }
+        // still exercising the properties. Like upstream, the
+        // `PROPTEST_CASES` environment variable overrides the default so
+        // CI fuzz legs can raise the case count without code changes
+        // (explicit `with_cases` configs are not overridden).
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.trim().parse::<u32>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(64);
+        ProptestConfig { cases }
     }
 }
 

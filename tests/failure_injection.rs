@@ -4,7 +4,7 @@
 use ecco::bits::{
     set_window_dispatch, window_dispatch, BitWriter, Block64, WindowDispatch, BLOCK_BITS,
 };
-use ecco::codec::block::DecodeError;
+use ecco::codec::block::DecodeErrorKind;
 use ecco::codec::{decode_group, encode_group};
 use ecco::hw::{decode_block_parallel, decode_blocks_parallel};
 use ecco::prelude::*;
@@ -34,8 +34,10 @@ fn single_bit_flips_never_panic() {
         match decode_group(&corrupted, &meta) {
             Ok((vals, _)) => assert_eq!(vals.len(), 128),
             Err(e) => assert!(matches!(
-                e,
-                DecodeError::BadPatternId | DecodeError::BadBookId | DecodeError::BadScaleFactor
+                e.kind,
+                DecodeErrorKind::BadPatternId
+                    | DecodeErrorKind::BadBookId
+                    | DecodeErrorKind::BadScaleFactor
             )),
         }
         // The parallel model must agree with the sequential decoder even
@@ -155,13 +157,13 @@ fn batched_pipeline_survives_truncated_and_garbage_blocks() {
     assert_eq!(scalar.unwrap(), reference, "forced-scalar arm diverged");
 
     // A batch containing a corrupted header must surface that block's
-    // error, exactly as the sequential loop would.
+    // error, exactly as the sequential loop would — now located at the
+    // block's index in the batch.
     if let Some(bad) = candidates.iter().find(|b| decode_group(b, &meta).is_err()) {
         let mixed = vec![decodable[0], *bad, decodable[1]];
-        assert_eq!(
-            decode_blocks_parallel(&mixed, &meta).unwrap_err(),
-            decode_group(bad, &meta).unwrap_err()
-        );
+        let got = decode_blocks_parallel(&mixed, &meta).unwrap_err();
+        assert_eq!(got.kind, decode_group(bad, &meta).unwrap_err().kind);
+        assert_eq!(got.block, Some(1), "error must locate the corrupt block");
     }
 }
 
@@ -217,9 +219,118 @@ fn batched_submission_isolates_injected_failures_per_tensor() {
         ]);
         set_window_dispatch(host_tier);
         assert_eq!(results[0].as_ref().unwrap(), &reference);
-        assert_eq!(results[1].as_ref().unwrap_err(), &want_err);
+        let got = results[1].as_ref().unwrap_err();
+        assert_eq!(got.kind, want_err.kind);
+        assert_eq!(
+            (got.tensor, got.block),
+            (Some(1), Some(2)),
+            "batch error must locate the garbage block (scalar={force_scalar})"
+        );
         assert_eq!(results[2].as_ref().unwrap(), &truncated_reference);
         assert_eq!(results[3].as_ref().unwrap(), &reference);
+    }
+}
+
+#[test]
+fn multi_bit_corruption_never_panics_and_decoders_agree() {
+    // The satellite beyond single-bit flips: 2..=16 simultaneous bit
+    // flips scattered across one block, driven through both the
+    // sequential and parallel decoders. Never a panic, always agreement.
+    let (meta, t) = test_meta();
+    let g = t.groups(128).next().unwrap();
+    let (block, _) = encode_group(g, &meta, PatternSelector::MseOptimal);
+    let mut state = 0xC0FFEE42u64;
+    let mut rng = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as usize
+    };
+    for trial in 0..300 {
+        let flips = 2 + rng() % 15;
+        let mut bytes = *block.as_bytes();
+        for _ in 0..flips {
+            let bit = rng() % BLOCK_BITS;
+            bytes[bit / 8] ^= 1 << (7 - bit % 8);
+        }
+        let corrupted = Block64::from_bytes(bytes);
+        match (
+            decode_group(&corrupted, &meta),
+            decode_block_parallel(&corrupted, &meta),
+        ) {
+            (Ok((a, _)), Ok((b, _))) => {
+                assert_eq!(a.len(), 128);
+                assert_eq!(a, b, "trial {trial}");
+            }
+            (Err(ea), Err(eb)) => assert_eq!(ea, eb, "trial {trial}"),
+            (a, b) => panic!("decoders disagree on trial {trial}: {a:?} vs {b:?}"),
+        }
+    }
+}
+
+#[test]
+fn cross_block_corruption_is_located_at_the_right_block() {
+    // Corruption spanning *several* blocks of one stream: every corrupt
+    // block is independent (blocks are self-contained), and the batched
+    // pipeline must report the FIRST corrupt block's index, while the
+    // salvage report names every one of them.
+    let (meta, t) = test_meta();
+    let good: Vec<Block64> = t
+        .groups(128)
+        .take(12)
+        .map(|g| encode_group(g, &meta, PatternSelector::MseOptimal).0)
+        .collect();
+
+    // Find blocks that reliably fail header parse when NaN-scaled.
+    let make_bad = |b: &Block64| {
+        let mut bytes = *b.as_bytes();
+        // Force the SF byte (bits id_hf_bits..id_hf_bits+8) to NaN by
+        // saturating the first two bytes — same shape as the single-bit
+        // test's worst case.
+        bytes[0] = 0xFF;
+        bytes[1] = 0xFF;
+        Block64::from_bytes(bytes)
+    };
+    let mut corrupted = good.clone();
+    for &i in &[3usize, 7, 9] {
+        corrupted[i] = make_bad(&corrupted[i]);
+        assert!(decode_group(&corrupted[i], &meta).is_err());
+    }
+
+    // Fail-fast pipeline: first corrupt block in block order.
+    let err = decode_blocks_parallel(&corrupted, &meta).unwrap_err();
+    assert_eq!(err.block, Some(3), "first corrupt block is index 3");
+    assert_eq!(
+        err.kind,
+        decode_group(&corrupted[3], &meta).unwrap_err().kind
+    );
+
+    // Salvage report: all three named, in block order, others intact.
+    let report = ecco::hw::decode_tensors_batch_report(
+        &[(&corrupted, &meta), (&good, &meta)],
+        ecco::codec::parallel::RecoveryPolicy::SalvageBlocks,
+    );
+    let healthy: Vec<f32> = good
+        .iter()
+        .flat_map(|b| decode_group(b, &meta).unwrap().0)
+        .collect();
+    assert_eq!(report[1].values().unwrap(), &healthy);
+    match &report[0] {
+        ecco::codec::parallel::BatchOutcome::Salvaged { values, bad_blocks } => {
+            let located: Vec<Option<usize>> = bad_blocks.iter().map(|e| e.block).collect();
+            assert_eq!(located, vec![Some(3), Some(7), Some(9)]);
+            assert!(bad_blocks.iter().all(|e| e.tensor == Some(0)));
+            let gs = meta.group_size;
+            for (i, b) in good.iter().enumerate() {
+                let got = &values[i * gs..(i + 1) * gs];
+                if [3, 7, 9].contains(&i) {
+                    assert!(got.iter().all(|&v| v == 0.0), "block {i} must be zeroed");
+                } else {
+                    assert_eq!(got, &decode_group(b, &meta).unwrap().0, "block {i}");
+                }
+            }
+        }
+        other => panic!("expected salvage, got {other:?}"),
     }
 }
 

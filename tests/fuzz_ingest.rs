@@ -1,0 +1,400 @@
+//! Structure-aware fuzzing of the codec's untrusted-ingest surface.
+//!
+//! Every property here mutates *serialized* artifacts — `ECCM` metadata
+//! snapshots and `ECCT` compressed-tensor frames from `ecco::codec::wire`,
+//! plus raw 64-byte block streams — with field-targeted bit flips,
+//! truncations, length-field lies and block splices, then drives the
+//! mutated bytes through both decoder arms. The invariants:
+//!
+//! * **never panic**: every malformation surfaces as a typed
+//!   [`DecodeError`], whatever the mutation;
+//! * **located errors**: truncations and corrupt blocks are reported at
+//!   the right tensor/block index;
+//! * **arm agreement**: the sequential reference decoder and the
+//!   hardware parallel decoder return the same values *and the same
+//!   errors* on corrupt input, across pool sizes {1, 4}.
+//!
+//! The vendored proptest honours `PROPTEST_CASES` (the CI fuzz-smoke leg
+//! raises it to 256+ under both `ECCO_THREADS=1` and `ECCO_THREADS=4`,
+//! with and without `--features force-scalar` so both window-dispatch
+//! arms see the same corpus). It has no shrinking, so failures report
+//! the deterministic case index instead of a minimized seed.
+
+use std::collections::BTreeSet;
+use std::sync::OnceLock;
+
+use ecco::bits::{Block64, BLOCK_BYTES};
+use ecco::codec::block::{decode_group, parse_block_header, DecodeError, DecodeErrorKind};
+use ecco::codec::parallel::RecoveryPolicy;
+use ecco::codec::wire::{
+    decode_metadata, decode_tensor, encode_metadata, encode_tensor, METADATA_MAGIC,
+};
+use ecco::codec::{BatchOutcome, CompressedTensor, EccoConfig, TensorMetadata, WeightCodec};
+use ecco::prelude::*;
+use proptest::prelude::*;
+
+struct Fixture {
+    codec: WeightCodec,
+    ct: CompressedTensor,
+    meta: TensorMetadata,
+    meta_bytes: Vec<u8>,
+    frame_bytes: Vec<u8>,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIX: OnceLock<Fixture> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let t = SynthSpec::for_kind(TensorKind::Weight, 8, 256)
+            .seeded(0xF022)
+            .generate();
+        let cfg = EccoConfig {
+            num_patterns: 8,
+            books_per_pattern: 2,
+            max_calibration_groups: 64,
+            ..EccoConfig::default()
+        };
+        let codec = WeightCodec::calibrate(&[&t], &cfg);
+        let (ct, _) = codec.compress(&t);
+        let meta = codec.metadata().with_scale(ct.tensor_scale());
+        let meta_bytes = encode_metadata(&meta);
+        let frame_bytes = encode_tensor(&ct);
+        Fixture {
+            codec,
+            ct,
+            meta,
+            meta_bytes,
+            frame_bytes,
+        }
+    })
+}
+
+/// Decodes a block stream sequentially, returning per-block outcomes.
+fn decode_seq(blocks: &[Block64], meta: &TensorMetadata) -> Vec<Result<Vec<f32>, DecodeError>> {
+    blocks
+        .iter()
+        .map(|b| decode_group(b, meta).map(|(v, _)| v))
+        .collect()
+}
+
+/// Asserts the hardware parallel decoder agrees with the sequential
+/// reference on `blocks` — same values when healthy, same error kind
+/// located at the first failing block otherwise — on pools {1, 4}.
+fn assert_arms_agree(
+    blocks: &[Block64],
+    meta: &TensorMetadata,
+) -> Result<(), proptest::test_runner::TestCaseError> {
+    let seq = decode_seq(blocks, meta);
+    let first_err = seq
+        .iter()
+        .enumerate()
+        .find_map(|(i, r)| r.as_ref().err().map(|e| (i, e.kind)));
+    for threads in [1usize, 4] {
+        let pool = PoolBuilder::new().threads(threads).build();
+        let got = with_pool(&pool, || ecco::hw::decode_blocks_parallel(blocks, meta));
+        match (&first_err, got) {
+            (None, Ok(values)) => {
+                let want: Vec<f32> = seq
+                    .iter()
+                    .flat_map(|r| r.as_ref().unwrap().iter().copied())
+                    .collect();
+                prop_assert_eq!(values, want, "pool {} values diverged", threads);
+            }
+            (Some((i, kind)), Err(e)) => {
+                prop_assert_eq!(e.kind, *kind, "pool {} error kind diverged", threads);
+                prop_assert_eq!(e.block, Some(*i), "pool {} error block diverged", threads);
+            }
+            (None, Err(e)) => prop_assert!(
+                false,
+                "pool {threads}: parallel failed ({e}) where sequential decoded"
+            ),
+            (Some((i, k)), Ok(_)) => prop_assert!(
+                false,
+                "pool {threads}: parallel decoded where sequential failed at block {i} ({k:?})"
+            ),
+        }
+    }
+    Ok(())
+}
+
+/// MSB-first bit set on a 64-byte block, mirroring the wire layout.
+fn set_bits(bytes: &mut [u8; BLOCK_BYTES], start: usize, len: usize, value: u64) {
+    for i in 0..len {
+        let bit = (value >> (len - 1 - i)) & 1;
+        let pos = start + i;
+        let mask = 1u8 << (7 - pos % 8);
+        if bit == 1 {
+            bytes[pos / 8] |= mask;
+        } else {
+            bytes[pos / 8] &= !mask;
+        }
+    }
+}
+
+proptest! {
+    /// Field-targeted bit flips over serialized metadata snapshots:
+    /// decode never panics, and when a mutated snapshot still revives,
+    /// both decoder arms agree on it block for block.
+    #[test]
+    fn metadata_snapshot_bitflips_never_panic(
+        flips in prop::collection::vec((0usize..2048, 0u8..8), 1..=8),
+        region in 0usize..3,
+    ) {
+        let fix = fixture();
+        let mut bytes = fix.meta_bytes.clone();
+        // Aim the flips at one structural region: the fixed header, the
+        // pattern centroids, or the codebook tables — structure-aware
+        // mutation reaches the deep validators plain random bytes miss.
+        let patterns_end = 19 + fix.meta.patterns.len() * 15 * 4;
+        let (lo, hi) = match region {
+            0 => (0usize, 19usize),
+            1 => (19, patterns_end),
+            _ => (patterns_end, bytes.len()),
+        };
+        for (off, bit) in &flips {
+            let idx = lo + off % (hi - lo);
+            bytes[idx] ^= 1 << bit;
+        }
+        match decode_metadata(&bytes) {
+            Err(e) => prop_assert!(
+                matches!(
+                    e.kind,
+                    DecodeErrorKind::TruncatedStream
+                        | DecodeErrorKind::CorruptMetadata
+                        | DecodeErrorKind::CorruptCodebook
+                        | DecodeErrorKind::LengthMismatch
+                ),
+                "untyped ingest error: {e}"
+            ),
+            Ok(revived) => {
+                // A surviving snapshot must behave: both arms decode the
+                // healthy block stream identically under it (values or
+                // identical located errors — e.g. a mutated but sorted
+                // centroid table decodes different values; both arms
+                // must produce the *same* different values).
+                assert_arms_agree(fix.ct.blocks(), &revived)?;
+            }
+        }
+    }
+
+    /// Truncations and length-field lies on compressed-tensor frames:
+    /// typed errors only, truncation located at the first missing block.
+    #[test]
+    fn tensor_frame_truncations_are_located(
+        cut in 0usize..4096,
+        lie in any::<u32>(),
+        lie_count in any::<bool>(),
+    ) {
+        let fix = fixture();
+        let mut bytes = fix.frame_bytes.clone();
+        if lie_count {
+            // The block-count field must never drive allocation or OOB —
+            // it is cross-checked against rows x cols / group_size.
+            bytes[19..23].copy_from_slice(&lie.to_le_bytes());
+            match decode_tensor(&bytes) {
+                Ok(ct) => prop_assert_eq!(ct.blocks(), fix.ct.blocks()),
+                Err(e) => prop_assert!(
+                    matches!(
+                        e.kind,
+                        DecodeErrorKind::LengthMismatch | DecodeErrorKind::TruncatedStream
+                    ),
+                    "lied count produced {e}"
+                ),
+            }
+        } else {
+            let cut = cut % bytes.len();
+            bytes.truncate(cut);
+            let e = decode_tensor(&bytes).unwrap_err();
+            prop_assert!(
+                matches!(
+                    e.kind,
+                    DecodeErrorKind::TruncatedStream | DecodeErrorKind::CorruptMetadata
+                ),
+                "truncation at {cut} produced {e}"
+            );
+            // Cuts inside the block payload locate the first missing block.
+            if cut >= 23 && e.kind == DecodeErrorKind::TruncatedStream {
+                prop_assert_eq!(e.block, Some((cut - 23) / BLOCK_BYTES));
+            }
+        }
+    }
+
+    /// Corrupt and spliced block streams: the sequential and parallel
+    /// arms agree error-for-error across pools, and the salvage report
+    /// zero-fills exactly the corrupt groups.
+    #[test]
+    fn corrupt_block_streams_keep_arms_in_agreement(
+        mutations in prop::collection::vec((0usize..16, 0usize..512), 1..=6),
+        splice in any::<bool>(),
+        swap in (0usize..16, 0usize..16),
+    ) {
+        let fix = fixture();
+        let mut blocks = fix.ct.blocks().to_vec();
+        for (bi, bit) in &mutations {
+            let bi = bi % blocks.len();
+            let mut bytes = *blocks[bi].as_bytes();
+            bytes[bit / 8] ^= 1 << (bit % 8);
+            blocks[bi] = Block64::from_bytes(bytes);
+        }
+        if splice {
+            // Splice: blocks are position-independent, so a swapped pair
+            // must decode to swapped (or identically failing) groups.
+            let (a, b) = (swap.0 % blocks.len(), swap.1 % blocks.len());
+            blocks.swap(a, b);
+        }
+        assert_arms_agree(&blocks, &fix.meta)?;
+
+        // The per-block salvage report agrees with the sequential scan:
+        // zero-filled groups exactly where decode_group fails, located
+        // errors naming those blocks.
+        let seq = decode_seq(&blocks, &fix.meta);
+        let bad: Vec<usize> = seq
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| r.is_err().then_some(i))
+            .collect();
+        let report = ecco::hw::decode_tensors_batch_report(
+            &[(&blocks[..], &fix.meta)],
+            RecoveryPolicy::SalvageBlocks,
+        );
+        let gs = fix.meta.group_size;
+        match &report[0] {
+            BatchOutcome::Ok(values) => {
+                prop_assert!(bad.is_empty(), "healthy report for corrupt stream");
+                let want: Vec<f32> = seq
+                    .iter()
+                    .flat_map(|r| r.as_ref().unwrap().iter().copied())
+                    .collect();
+                prop_assert_eq!(values.clone(), want);
+            }
+            BatchOutcome::Salvaged { values, bad_blocks } => {
+                let located: Vec<usize> =
+                    bad_blocks.iter().map(|e| e.block.unwrap()).collect();
+                prop_assert_eq!(&located, &bad, "salvage disagreed on bad blocks");
+                for (i, r) in seq.iter().enumerate() {
+                    let got = &values[i * gs..(i + 1) * gs];
+                    match r {
+                        Ok(v) => prop_assert_eq!(got, &v[..], "healthy block {} altered", i),
+                        Err(_) => prop_assert!(
+                            got.iter().all(|&x| x == 0.0),
+                            "corrupt block {i} not zero-filled"
+                        ),
+                    }
+                }
+            }
+            BatchOutcome::Failed(e) => prop_assert!(
+                false,
+                "salvage mode failed the whole tensor: {e}"
+            ),
+        }
+    }
+}
+
+/// Length-field lies, exhaustively: write an all-ones u32 over every
+/// 4-byte window of the metadata snapshot. No panic, no multi-gigabyte
+/// allocation, only typed errors (or a still-valid snapshot when the
+/// window lands in a don't-care position like a centroid payload).
+#[test]
+fn metadata_length_field_lies_are_typed() {
+    let fix = fixture();
+    for off in 0..fix.meta_bytes.len().saturating_sub(4) {
+        let mut bytes = fix.meta_bytes.clone();
+        bytes[off..off + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        if let Err(e) = decode_metadata(&bytes) {
+            assert!(
+                matches!(
+                    e.kind,
+                    DecodeErrorKind::TruncatedStream
+                        | DecodeErrorKind::CorruptMetadata
+                        | DecodeErrorKind::CorruptCodebook
+                        | DecodeErrorKind::LengthMismatch
+                ),
+                "offset {off}: untyped ingest error {e}"
+            );
+        }
+    }
+}
+
+/// The taxonomy audit: every [`DecodeErrorKind`] variant is reachable
+/// from a real ingest path. Enumerates [`DecodeErrorKind::ALL`] so adding
+/// a variant without a covering corruption fails this test.
+#[test]
+fn every_decode_error_kind_is_reachable_from_ingest() {
+    let fix = fixture();
+    let meta = &fix.meta;
+    let block0 = fix.ct.blocks()[0];
+    let mut reached: BTreeSet<DecodeErrorKind> = BTreeSet::new();
+    let mut reach = |e: DecodeError| {
+        reached.insert(e.kind);
+    };
+
+    // BadPatternId: a metadata set with no patterns makes every decoded
+    // pattern id out of range.
+    let mut no_patterns = meta.clone();
+    no_patterns.patterns.clear();
+    reach(decode_group(&block0, &no_patterns).unwrap_err());
+
+    // BadBookId: force ID_HF to 1 against rows truncated to one book.
+    let mut one_book = meta.clone();
+    for row in &mut one_book.books {
+        row.truncate(1);
+    }
+    let mut bytes = *block0.as_bytes();
+    set_bits(&mut bytes, 0, meta.id_hf_bits as usize, 1);
+    reach(decode_group(&Block64::from_bytes(bytes), &one_book).unwrap_err());
+
+    // BadScaleFactor: overwrite the SF field with the FP8 E4M3 NaN.
+    let mut bytes = *block0.as_bytes();
+    set_bits(&mut bytes, meta.id_hf_bits as usize, 8, 0x7F);
+    reach(decode_group(&Block64::from_bytes(bytes), meta).unwrap_err());
+
+    // CorruptMetadata: a block naming a pattern with no codebook row —
+    // and, on the wire, a flipped magic.
+    let mut no_books = meta.clone();
+    no_books.books.clear();
+    reach(decode_group(&block0, &no_books).unwrap_err());
+    let mut bad_magic = fix.meta_bytes.clone();
+    bad_magic[0] ^= 0xFF;
+    assert!(!bad_magic.starts_with(&METADATA_MAGIC));
+    reach(decode_metadata(&bad_magic).unwrap_err());
+
+    // CorruptCodebook: splice a Kraft-violating revived book into the
+    // slot this block selects.
+    let header = parse_block_header(&block0, meta).expect("fixture block is healthy");
+    let mut bad_book = meta.clone();
+    bad_book.books[header.kp][header.book_id] =
+        ecco::entropy::huffman::Codebook::from_serialized_parts(vec![0; 16], vec![0; 16], 8);
+    reach(decode_group(&block0, &bad_book).unwrap_err());
+
+    // TruncatedStream: a tensor whose block stream ends a block early.
+    let frame = encode_tensor(&fix.ct);
+    reach(decode_tensor(&frame[..frame.len() - BLOCK_BYTES]).unwrap_err());
+    // A well-formed frame still round-trips through the report API.
+    let outcome = fix.codec.decompress_batch_report(
+        &[&decode_tensor(&frame).unwrap()],
+        RecoveryPolicy::FailTensor,
+    );
+    assert!(matches!(outcome[0], BatchOutcome::Ok(_)));
+
+    // LengthMismatch: a trailing byte after a well-formed frame.
+    let mut trailing = frame.clone();
+    trailing.push(0);
+    reach(decode_tensor(&trailing).unwrap_err());
+
+    // WorkerPanic: a panicking decode closure in the batch driver.
+    let results = ecco::codec::parallel::decode_tensors_batch_with(
+        &[fix.ct.blocks()],
+        meta.group_size,
+        || (),
+        |(), _, _, _| panic!("injected ingest panic"),
+    );
+    reach(*results[0].as_ref().unwrap_err());
+
+    let missing: Vec<DecodeErrorKind> = DecodeErrorKind::ALL
+        .into_iter()
+        .filter(|k| !reached.contains(k))
+        .collect();
+    assert!(
+        missing.is_empty(),
+        "taxonomy kinds unreachable from ingest tests: {missing:?}"
+    );
+}

@@ -9,7 +9,7 @@
 //! (mirror of `parallel_roundtrip.rs` for the decoder front end).
 
 use ecco::bits::Block64;
-use ecco::codec::block::DecodeError;
+use ecco::codec::block::DecodeErrorKind;
 use ecco::pool::{threads_from_env, with_pool, Pool, PoolBuilder};
 use ecco::prelude::*;
 
@@ -196,7 +196,9 @@ fn worker_panic_poisons_only_its_batch_and_pool_survives() {
             },
         );
         assert_eq!(results[0].as_ref().unwrap(), seq.data());
-        assert_eq!(results[1], Err(DecodeError::WorkerPanic));
+        let e = results[1].as_ref().unwrap_err();
+        assert_eq!(e.kind, DecodeErrorKind::WorkerPanic);
+        assert_eq!(e.tensor, Some(1), "panic must be located at its tensor");
         assert_eq!(results[2].as_ref().unwrap(), seq.data());
 
         // Joining after the injected panic: the same pool still decodes.
