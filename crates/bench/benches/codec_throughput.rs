@@ -20,8 +20,10 @@
 //! measuring spawn amortization on small tensors (per-call scoped-thread
 //! sharding — the pre-pool scheduler, reimplemented as the baseline —
 //! vs the persistent pool's fast path and its forced queue dispatch),
-//! and a `batch_decode` section comparing a per-tensor pooled loop with
-//! one batched `decode_tensors_batch` submission.
+//! a `batch_decode` section comparing a per-tensor pooled loop with
+//! one batched `decode_tensors_batch` submission, and a `container_load`
+//! section timing ECCF model cold starts: full-model vs 25%-of-layers
+//! partial loads through the mmap reader and the pread fallback.
 //!
 //! `BENCH_encode.json` covers the compress-side hot path:
 //!
@@ -299,6 +301,108 @@ fn pool_timings(
     (spawn, pooled, dispatch, batch)
 }
 
+/// Container cold-start timings: write a compressed multi-layer model
+/// to a temp ECCF file, then time full-model and 25%-of-layers partial
+/// loads through `Container::open` (mmap) and `Container::open_buffered`
+/// (pread fallback). Rates are decoded-f32 bytes per second — the number
+/// a serving cold start cares about — with each arm the best of three
+/// timed runs. A throwaway load warms the lazy decode tables so neither
+/// backend bills the one-time build.
+fn container_load_section() -> String {
+    use ecco_container::{write_model, Container, ContainerError};
+    use ecco_core::pool::{with_pool, PoolBuilder};
+    use ecco_core::{CompressedTensor, WeightCodec};
+    use ecco_tensor::{synth::SynthSpec, TensorKind};
+
+    const LAYERS: usize = 8;
+    const ROWS: usize = 16;
+    const COLS: usize = 1024;
+
+    let tensors: Vec<Tensor> = (0..LAYERS)
+        .map(|i| {
+            SynthSpec::for_kind(TensorKind::Weight, ROWS, COLS)
+                .seeded(0xECCF + i as u64)
+                .generate()
+        })
+        .collect();
+    let refs: Vec<&Tensor> = tensors.iter().collect();
+    let codec = WeightCodec::calibrate(&refs[..2], &EccoConfig::default());
+    let pool = PoolBuilder::new().build();
+    let compressed: Vec<CompressedTensor> = with_pool(&pool, || codec.compress_batch(&refs))
+        .into_iter()
+        .map(|(ct, _)| ct)
+        .collect();
+    let names: Vec<String> = (0..LAYERS).map(|i| format!("blk.{i}.w")).collect();
+    let pairs: Vec<(&str, &CompressedTensor)> = names
+        .iter()
+        .map(String::as_str)
+        .zip(compressed.iter())
+        .collect();
+    let mut path = std::env::temp_dir();
+    path.push(format!("ecco_bench_{}.eccf", std::process::id()));
+    write_model(&path, codec.metadata(), &pairs).expect("write bench container");
+    let file_bytes = std::fs::metadata(&path)
+        .expect("stat bench container")
+        .len();
+
+    let all: Vec<&str> = names.iter().map(String::as_str).collect();
+    let quarter: Vec<&str> = all.iter().step_by(4).copied().collect();
+    let full_bytes = (LAYERS * ROWS * COLS * 4) as f64;
+    let part_bytes = (quarter.len() * ROWS * COLS * 4) as f64;
+
+    let warm = Container::open(&path).expect("open bench container");
+    with_pool(&pool, || warm.load(&all)).expect("warmup load");
+    drop(warm);
+
+    let best_of = |f: &mut dyn FnMut() -> f64| (0..3).map(|_| f()).fold(f64::INFINITY, f64::min);
+    type OpenFn = fn(&std::path::Path) -> Result<Container, ContainerError>;
+    // rates[backend][0] = full-load B/s, [1] = partial-load B/s.
+    let mut rates = [[0.0f64; 2]; 2];
+    let backends = [
+        Container::open as OpenFn,
+        Container::open_buffered as OpenFn,
+    ];
+    for (bi, open) in backends.into_iter().enumerate() {
+        let container = open(&path).expect("reopen bench container");
+        let full_ns = best_of(&mut || {
+            with_pool(&pool, || {
+                time_ns(|| {
+                    black_box(container.load(black_box(&all)).unwrap());
+                })
+            })
+        });
+        let part_ns = best_of(&mut || {
+            with_pool(&pool, || {
+                time_ns(|| {
+                    black_box(container.load(black_box(&quarter)).unwrap());
+                })
+            })
+        });
+        rates[bi] = [full_bytes / full_ns * 1e9, part_bytes / part_ns * 1e9];
+    }
+    std::fs::remove_file(&path).ok();
+
+    format!(
+        "{{\n      \
+           \"layers\": {LAYERS},\n      \
+           \"partial_layers\": {partial_layers},\n      \
+           \"file_bytes\": {file_bytes},\n      \
+           \"decoded_bytes_full\": {decoded:.0},\n      \
+           \"mmap_full_load_bytes_per_s\": {mf:.0},\n      \
+           \"mmap_partial_load_bytes_per_s\": {mp:.0},\n      \
+           \"pread_full_load_bytes_per_s\": {pf:.0},\n      \
+           \"pread_partial_load_bytes_per_s\": {pp:.0},\n      \
+           \"mmap_vs_pread_full_ratio\": {ratio:.2}\n    }}",
+        partial_layers = quarter.len(),
+        decoded = full_bytes,
+        mf = rates[0][0],
+        mp = rates[0][1],
+        pf = rates[1][0],
+        pp = rates[1][1],
+        ratio = rates[0][0] / rates[1][0],
+    )
+}
+
 /// Mean ns of `f` over a time-boxed number of repetitions.
 fn time_ns<F: FnMut()>(mut f: F) -> f64 {
     // Warm up once, then run for ~400 ms.
@@ -423,7 +527,9 @@ fn write_bench_json(meta: &TensorMetadata, blocks: &[Block64], kc_blocks: &[Bloc
            \"per_tensor_pooled_tensors_per_s\": {pooled_tps:.0},\n    \
            \"batched_submission_tensors_per_s\": {batch_tps:.0},\n    \
            \"batched_vs_per_tensor_speedup\": {batch_speedup:.2},\n    \
-           \"notes\": \"the 0.95x regression came from one queue claim per 4-block tensor: 128 claims each paid a queue wake-up, slot lock and fresh decode scratch; claim_ranges now groups contiguous tensors into block-target-sized claims sharing one scratch, bringing batched submission to parity with the per-tensor loop (0.98-1.01x run to run on the 1-core container; the win shows on real multi-core hosts)\"\n  }}\n}}\n",
+           \"notes\": \"the 0.95x regression came from one queue claim per 4-block tensor: 128 claims each paid a queue wake-up, slot lock and fresh decode scratch; claim_ranges now groups contiguous tensors into block-target-sized claims sharing one scratch, bringing batched submission to parity with the per-tensor loop (0.98-1.01x run to run on the 1-core container; the win shows on real multi-core hosts)\"\n  }},\n  \
+         \"container_load\": {csec}\n}}\n",
+        csec = container_load_section(),
         threads = rayon::current_num_threads(),
         seed = per_s(seed_ns),
         lut = per_s(lut_ns),

@@ -1,0 +1,63 @@
+//! CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`) — the per-frame
+//! checksum of the ECCF container.
+//!
+//! The container stores one CRC per tensor frame, one for the metadata
+//! snapshot and one for the tail directory itself, each computed over the
+//! exact byte range the directory describes. The implementation is the
+//! standard byte-at-a-time table walk with a compile-time table: this is
+//! an integrity check against rot and truncation, not a cryptographic
+//! MAC, and a single table keeps the read path allocation-free.
+
+/// The reflected CRC-32 lookup table, generated at compile time.
+const TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 of `bytes` (IEEE, as produced by zlib's `crc32`, gzip, BGZF).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    !bytes.iter().fold(!0u32, |c, &b| {
+        TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_answers() {
+        // The check value every CRC-32 implementation pins.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"ECCF"), crc32(b"ECCF"));
+    }
+
+    #[test]
+    fn single_bit_flips_always_detected() {
+        let base: Vec<u8> = (0..97u8).collect();
+        let want = crc32(&base);
+        for byte in 0..base.len() {
+            for bit in 0..8 {
+                let mut b = base.clone();
+                b[byte] ^= 1 << bit;
+                assert_ne!(crc32(&b), want, "flip {byte}.{bit} undetected");
+            }
+        }
+    }
+}

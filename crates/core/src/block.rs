@@ -75,6 +75,12 @@ pub enum DecodeErrorKind {
     /// that is actually present (block count vs tensor shape, group size
     /// mismatch, trailing or missing wire bytes).
     LengthMismatch,
+    /// A stored frame's CRC-32 does not match its payload — the bytes
+    /// rotted (or were tampered with) between write and read. Checked
+    /// *before* any decode touches the frame, so a corrupt container
+    /// frame is reported here rather than as whatever deep decode error
+    /// the damaged bytes happen to produce (see `ecco-container`).
+    ChecksumMismatch,
     /// A pool worker panicked while decoding this tensor's batch slice;
     /// the panic was contained to this result (see
     /// [`crate::parallel::decode_tensors_batch_with`]).
@@ -84,7 +90,7 @@ pub enum DecodeErrorKind {
 impl DecodeErrorKind {
     /// Every kind, in precedence/documentation order — the audit test
     /// enumerates this to prove the whole taxonomy is constructible.
-    pub const ALL: [DecodeErrorKind; 8] = [
+    pub const ALL: [DecodeErrorKind; 9] = [
         DecodeErrorKind::BadPatternId,
         DecodeErrorKind::BadBookId,
         DecodeErrorKind::BadScaleFactor,
@@ -92,6 +98,7 @@ impl DecodeErrorKind {
         DecodeErrorKind::CorruptMetadata,
         DecodeErrorKind::TruncatedStream,
         DecodeErrorKind::LengthMismatch,
+        DecodeErrorKind::ChecksumMismatch,
         DecodeErrorKind::WorkerPanic,
     ];
 
@@ -104,6 +111,7 @@ impl DecodeErrorKind {
             DecodeErrorKind::CorruptMetadata => "corrupt revived metadata",
             DecodeErrorKind::TruncatedStream => "stream truncated",
             DecodeErrorKind::LengthMismatch => "length field mismatch",
+            DecodeErrorKind::ChecksumMismatch => "frame checksum mismatch",
             DecodeErrorKind::WorkerPanic => "decode worker panicked",
         }
     }

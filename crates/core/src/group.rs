@@ -40,7 +40,17 @@ pub fn normalize_group(group: &[f32], tensor_scale: Po2Scale) -> NormalizedGroup
             max_pos = i;
         }
     }
+    // A NaN can only end up at `max_pos` when no value has |x| > 0 (NaN
+    // never wins the `>` comparison), i.e. the group is all NaNs and
+    // zeros. Encode it as a zero-scale group — the block then round-trips
+    // to exact zeros instead of carrying a NaN scale factor the decoder
+    // would (rightly) reject as `BadScaleFactor`.
     let signed_extreme = group[max_pos];
+    let signed_extreme = if signed_extreme.is_nan() {
+        0.0
+    } else {
+        signed_extreme
+    };
     let sf = F8E4M3::from_f32(tensor_scale.compress(signed_extreme));
     let scale_signed = ecco_numerics::round_f16(tensor_scale.expand(sf.to_f32()));
     let mag = scale_signed.abs();
@@ -125,6 +135,19 @@ mod tests {
         assert_eq!(n.scale_signed, 0.0);
         assert_eq!(n.scale_mag, 1.0);
         assert!(n.values.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn nan_only_group_encodes_as_zero_scale() {
+        // NaN never wins the absmax comparison, so it can only reach the
+        // scale slot in an all-NaN-and-zeros group; such a group must
+        // produce a decodable (zero) scale factor, not a NaN one.
+        let mut g = [0.0f32; 128];
+        g[0] = f32::NAN;
+        g[64] = f32::NAN;
+        let n = normalize_group(&g, Po2Scale::IDENTITY);
+        assert_eq!(n.scale_signed, 0.0);
+        assert!(!F8E4M3::from_bits(n.sf_bits).is_nan());
     }
 
     #[test]

@@ -405,9 +405,27 @@ fn calibrate_impl(
             if j == ng.max_pos {
                 continue;
             }
+            // Non-finite values (NaN/inf in the calibration tensors)
+            // carry no pattern information and would poison the k-means
+            // centroids — and the wire decoder rightly rejects
+            // non-finite centroids as corrupt metadata. Keep them out of
+            // the fit; the encoder maps them to deterministic symbols at
+            // compress time regardless.
+            if !v.is_finite() {
+                continue;
+            }
             vals.push(v);
             if let (Some(wts), Some(w2)) = (&mut wts, &w2) {
                 wts.push(w2[j]);
+            }
+        }
+        if vals.is_empty() {
+            // A fully non-finite group still needs one point: k-means
+            // refuses empty jobs. Zero is the value such a group's
+            // blocks decode to.
+            vals.push(0.0);
+            if let Some(wts) = &mut wts {
+                wts.push(1.0);
             }
         }
         SampledGroup { ng, vals, wts }

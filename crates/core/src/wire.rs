@@ -76,6 +76,12 @@ pub const TENSOR_MAGIC: [u8; 4] = *b"ECCT";
 /// Current version of both formats.
 pub const WIRE_VERSION: u16 = 1;
 
+/// Fixed byte length of an `ECCT` frame's header: magic (4), version (2),
+/// rows/cols/group_size (4 each), scale exp (1), block count (4). A frame
+/// is exactly this plus `block_count ×` [`BLOCK_BYTES`] bytes — the
+/// arithmetic the container's tail directory is validated against.
+pub const TENSOR_FRAME_HEADER_BYTES: usize = 23;
+
 /// Caps mirroring [`crate::EccoConfig::validate`]: a lied count field must
 /// fail fast, not drive a multi-gigabyte allocation.
 const MAX_PATTERNS: u32 = 4096;
@@ -391,6 +397,11 @@ mod tests {
     #[test]
     fn tensor_roundtrip_is_bit_identical() {
         let (_, ct, _) = fixture();
+        assert_eq!(
+            encode_tensor(&ct).len(),
+            TENSOR_FRAME_HEADER_BYTES + ct.blocks().len() * BLOCK_BYTES,
+            "frame-size arithmetic the container directory relies on"
+        );
         let back = decode_tensor(&encode_tensor(&ct)).expect("roundtrip");
         assert_eq!(back.rows(), ct.rows());
         assert_eq!(back.cols(), ct.cols());

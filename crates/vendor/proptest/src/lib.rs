@@ -233,6 +233,59 @@ impl<T: Clone> Strategy for Just<T> {
     }
 }
 
+/// Weighted choice among strategies sharing one value type — the
+/// runtime form [`prop_oneof!`] expands to (upstream's `TupleUnion`,
+/// collapsed to boxed options since this stub has no shrinking).
+pub struct Union<T> {
+    options: Vec<(u32, Box<dyn Strategy<Value = T>>)>,
+    total: u64,
+}
+
+impl<T> Union<T> {
+    /// Builds a union from `(weight, strategy)` options.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `options` is empty or every weight is zero.
+    pub fn new(options: Vec<(u32, Box<dyn Strategy<Value = T>>)>) -> Union<T> {
+        let total: u64 = options.iter().map(|&(w, _)| w as u64).sum();
+        assert!(total > 0, "prop_oneof! needs at least one non-zero weight");
+        Union { options, total }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut draw = rng.0.gen::<u64>() % self.total;
+        for (w, s) in &self.options {
+            if draw < *w as u64 {
+                return s.generate(rng);
+            }
+            draw -= *w as u64;
+        }
+        unreachable!("draw bounded by the weight total")
+    }
+}
+
+/// Boxes a strategy for use in a [`Union`] (monomorphization helper the
+/// `prop_oneof!` expansion routes through so value types unify).
+pub fn boxed<S: Strategy + 'static>(s: S) -> Box<dyn Strategy<Value = S::Value>> {
+    Box::new(s)
+}
+
+/// Chooses among strategies, optionally weighted (`w => strategy`),
+/// mirroring upstream's `prop_oneof!`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$(($weight as u32, $crate::boxed($strategy))),+])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$((1u32, $crate::boxed($strategy))),+])
+    };
+}
+
 /// `prop::...` namespace, mirroring upstream's module layout.
 pub mod prop {
     /// Collection strategies.
@@ -291,8 +344,8 @@ pub mod prop {
 pub mod prelude {
     pub use crate::test_runner::TestCaseError;
     pub use crate::{
-        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just,
-        ProptestConfig, Strategy,
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Just, ProptestConfig, Strategy, Union,
     };
 }
 
@@ -421,6 +474,18 @@ mod tests {
         fn vec_lengths(v in prop::collection::vec(0u8..5, 2..=6)) {
             prop_assert!((2..=6).contains(&v.len()));
             prop_assert!(v.iter().all(|&b| b < 5));
+        }
+
+        #[test]
+        fn oneof_draws_every_arm(v in prop::collection::vec(
+            prop_oneof![2 => Just(0u8), 1 => 10u8..20, 1 => Just(99u8)],
+            200usize,
+        )) {
+            prop_assert!(v.iter().all(|&x| x == 0 || (10..20).contains(&x) || x == 99));
+            // With 200 draws at these weights, every arm appears.
+            prop_assert!(v.contains(&0));
+            prop_assert!(v.iter().any(|&x| (10..20).contains(&x)));
+            prop_assert!(v.contains(&99));
         }
 
         #[test]

@@ -12,6 +12,7 @@
 //! | [`tensor`] | `ecco-tensor` | tensors + synthetic LLM tensor generator |
 //! | [`pool`] | `ecco-pool` | persistent worker pool, batched submission scheduler |
 //! | [`codec`] | `ecco-core` | **the Ecco compression algorithm** |
+//! | [`container`] | `ecco-container` | ECCF random-access model container, mmap loader |
 //! | [`baselines`] | `ecco-baselines` | RTN / AWQ / GPTQ-R / SmoothQuant / Olive / QuaRot / QoQ |
 //! | [`hw`] | `ecco-hw` | parallel decoder, bitonic sorter, compressor, area/power |
 //! | [`sim`] | `ecco-sim` | GPU memory-system timing simulator |
@@ -41,6 +42,7 @@
 pub use ecco_accuracy as accuracy;
 pub use ecco_baselines as baselines;
 pub use ecco_bits as bits;
+pub use ecco_container as container;
 pub use ecco_core as codec;
 pub use ecco_entropy as entropy;
 pub use ecco_hw as hw;

@@ -30,15 +30,25 @@ use ecco::codec::wire::{
     decode_metadata, decode_tensor, encode_metadata, encode_tensor, METADATA_MAGIC,
 };
 use ecco::codec::{BatchOutcome, CompressedTensor, EccoConfig, TensorMetadata, WeightCodec};
+use ecco::container::{crc32, encode_model, Container, ContainerError, FOOTER_BYTES};
 use ecco::prelude::*;
 use proptest::prelude::*;
+
+/// The two tensor names in the container fixture — same byte length, so
+/// the duplicate-name splice below can overwrite one with the other
+/// without reshaping the directory.
+const T0: &str = "blk.0.w";
+const T1: &str = "blk.1.w";
 
 struct Fixture {
     codec: WeightCodec,
     ct: CompressedTensor,
+    ct2: CompressedTensor,
     meta: TensorMetadata,
     meta_bytes: Vec<u8>,
     frame_bytes: Vec<u8>,
+    /// ECCF container image holding `ct` as [`T0`] and `ct2` as [`T1`].
+    image: Vec<u8>,
 }
 
 fn fixture() -> &'static Fixture {
@@ -46,6 +56,9 @@ fn fixture() -> &'static Fixture {
     FIX.get_or_init(|| {
         let t = SynthSpec::for_kind(TensorKind::Weight, 8, 256)
             .seeded(0xF022)
+            .generate();
+        let t2 = SynthSpec::for_kind(TensorKind::Weight, 4, 256)
+            .seeded(0xF023)
             .generate();
         let cfg = EccoConfig {
             num_patterns: 8,
@@ -55,17 +68,60 @@ fn fixture() -> &'static Fixture {
         };
         let codec = WeightCodec::calibrate(&[&t], &cfg);
         let (ct, _) = codec.compress(&t);
+        let (ct2, _) = codec.compress(&t2);
         let meta = codec.metadata().with_scale(ct.tensor_scale());
         let meta_bytes = encode_metadata(&meta);
         let frame_bytes = encode_tensor(&ct);
+        let image = encode_model(codec.metadata(), &[(T0, &ct), (T1, &ct2)]);
         Fixture {
             codec,
             ct,
+            ct2,
             meta,
             meta_bytes,
             frame_bytes,
+            image,
         }
     })
+}
+
+/// Recomputes the footer's directory CRC after a directory mutation, so
+/// an index-entry *lie* reaches the structural validators instead of
+/// being rejected as a checksum mismatch.
+fn reseal_directory(image: &mut [u8]) {
+    let f = image.len() - FOOTER_BYTES;
+    let index_offset = u64::from_le_bytes(image[f..f + 8].try_into().unwrap()) as usize;
+    let crc = crc32(&image[index_offset..f]);
+    image[f + 8..f + 12].copy_from_slice(&crc.to_le_bytes());
+}
+
+/// Absolute byte offset, within the image, of each directory entry's
+/// fixed fields (`offset | len | block_count | decoded_len | crc`),
+/// found by walking the directory exactly as the format defines it.
+fn entry_field_positions(image: &[u8]) -> Vec<usize> {
+    let f = image.len() - FOOTER_BYTES;
+    let index_offset = u64::from_le_bytes(image[f..f + 8].try_into().unwrap()) as usize;
+    let count = u32::from_le_bytes(
+        image[index_offset + 4..index_offset + 8]
+            .try_into()
+            .unwrap(),
+    );
+    let mut pos = index_offset + 28;
+    let mut out = Vec::new();
+    for _ in 0..count {
+        let name_len = u16::from_le_bytes(image[pos..pos + 2].try_into().unwrap()) as usize;
+        out.push(pos + 2 + name_len);
+        pos += 2 + name_len + 32;
+    }
+    out
+}
+
+/// Unwraps the located decode error out of a container failure.
+fn decode_err(e: ContainerError) -> DecodeError {
+    match e {
+        ContainerError::Decode(d) => d,
+        other => panic!("expected a located decode error, got {other}"),
+    }
 }
 
 /// Decodes a block stream sequentially, returning per-block outcomes.
@@ -289,6 +345,175 @@ proptest! {
     }
 }
 
+proptest! {
+    /// Random bit flips anywhere in a container image: opening and
+    /// loading never panic, and **checksum-before-decode** holds — a
+    /// tensor slot either round-trips bit-identically to the pristine
+    /// baseline or fails with a located `ChecksumMismatch`; a flipped
+    /// frame can never leak different values out of a "successful" load,
+    /// because its CRC is checked before any decode touches it.
+    #[test]
+    fn container_bitflips_never_panic_or_leak(
+        flips in prop::collection::vec((0usize..1 << 16, 0u8..8), 1..=8),
+    ) {
+        let fix = fixture();
+        let mut image = fix.image.clone();
+        let len = image.len();
+        for (off, bit) in &flips {
+            image[off % len] ^= 1 << bit;
+        }
+        let container = match Container::from_bytes(image) {
+            // Open refused the image with a typed error — that is the
+            // no-panic property doing its job.
+            Err(_) => return Ok(()),
+            Ok(c) => c,
+        };
+        // If the image opened, the directory survived its CRC, so both
+        // names resolve and the report itself cannot fail.
+        let slots = container
+            .load_report(&[T0, T1], RecoveryPolicy::SalvageBlocks)
+            .expect("names come from the CRC-verified directory");
+        for (slot, want) in slots.iter().zip([
+            fix.codec.decompress(&fix.ct),
+            fix.codec.decompress(&fix.ct2),
+        ]) {
+            match &slot.outcome {
+                BatchOutcome::Ok(values) => {
+                    prop_assert_eq!(&values[..], want.data(), "flipped frame leaked values")
+                }
+                BatchOutcome::Failed(e) => prop_assert_eq!(
+                    e.kind,
+                    DecodeErrorKind::ChecksumMismatch,
+                    "frame corruption surfaced as {} instead of a checksum mismatch", e
+                ),
+                BatchOutcome::Salvaged { .. } => prop_assert!(
+                    false,
+                    "block-level salvage on a frame whose CRC should have failed first"
+                ),
+            }
+        }
+    }
+
+    /// Truncating a container anywhere — tail directory included — is a
+    /// typed open failure, never a panic and never a partial success.
+    #[test]
+    fn container_truncations_always_refuse(cut in 0usize..1 << 16) {
+        let fix = fixture();
+        let cut = cut % fix.image.len();
+        prop_assert!(Container::from_bytes(fix.image[..cut].to_vec()).is_err());
+    }
+}
+
+/// Index-entry lies, resealed under a valid directory CRC so they reach
+/// the structural validators: offsets past EOF, overlapping frames,
+/// wrong block counts, lied decoded lengths, duplicate names and an
+/// inflated entry count must every one surface as a typed error located
+/// at the lying entry — before any frame byte is decoded.
+#[test]
+fn container_index_lies_are_located() {
+    let fix = fixture();
+    let fields = entry_field_positions(&fix.image);
+    let open_err = |image: Vec<u8>| decode_err(Container::from_bytes(image).unwrap_err());
+
+    // Entry 1's frame offset points past EOF.
+    let mut image = fix.image.clone();
+    let past_eof = (image.len() as u64).to_le_bytes();
+    image[fields[1]..fields[1] + 8].copy_from_slice(&past_eof);
+    reseal_directory(&mut image);
+    let e = open_err(image);
+    assert_eq!(e.kind, DecodeErrorKind::CorruptMetadata);
+    assert_eq!(e.tensor, Some(1));
+
+    // Entry 1 claims entry 0's offset: overlapping frames.
+    let mut image = fix.image.clone();
+    let offset0 = fix.image[fields[0]..fields[0] + 8].to_vec();
+    image[fields[1]..fields[1] + 8].copy_from_slice(&offset0);
+    reseal_directory(&mut image);
+    let e = open_err(image);
+    assert_eq!(e.kind, DecodeErrorKind::CorruptMetadata);
+    assert!(e.tensor.is_some(), "overlap not located");
+
+    // Block count off by one: the stored frame length no longer matches
+    // `header + count × 64`.
+    let mut image = fix.image.clone();
+    let bc = u32::from_le_bytes(image[fields[0] + 16..fields[0] + 20].try_into().unwrap());
+    image[fields[0] + 16..fields[0] + 20].copy_from_slice(&(bc - 1).to_le_bytes());
+    reseal_directory(&mut image);
+    let e = open_err(image);
+    assert_eq!(e.kind, DecodeErrorKind::LengthMismatch);
+    assert_eq!(e.tensor, Some(0));
+
+    // Decoded length disagrees with `block_count × group_size`.
+    let mut image = fix.image.clone();
+    let dl = u64::from_le_bytes(image[fields[0] + 20..fields[0] + 28].try_into().unwrap());
+    image[fields[0] + 20..fields[0] + 28].copy_from_slice(&(dl + 1).to_le_bytes());
+    reseal_directory(&mut image);
+    let e = open_err(image);
+    assert_eq!(e.kind, DecodeErrorKind::LengthMismatch);
+    assert_eq!(e.tensor, Some(0));
+
+    // Entry 1 renamed to entry 0's (equal-length) name: duplicate key.
+    let mut image = fix.image.clone();
+    let name_at = |f: usize| f - T0.len()..f;
+    let name0 = fix.image[name_at(fields[0])].to_vec();
+    image[name_at(fields[1])].copy_from_slice(&name0);
+    reseal_directory(&mut image);
+    let e = open_err(image);
+    assert_eq!(e.kind, DecodeErrorKind::CorruptMetadata);
+    assert_eq!(e.tensor, Some(1));
+
+    // Entry count inflated by one: the directory ends mid-"entry 2".
+    let mut image = fix.image.clone();
+    let f = image.len() - FOOTER_BYTES;
+    let index_offset = u64::from_le_bytes(image[f..f + 8].try_into().unwrap()) as usize;
+    image[index_offset + 4..index_offset + 8].copy_from_slice(&3u32.to_le_bytes());
+    reseal_directory(&mut image);
+    let e = open_err(image);
+    assert_eq!(e.kind, DecodeErrorKind::TruncatedStream);
+    assert_eq!(e.tensor, Some(2));
+
+    // A lying footer pointer (no reseal possible — the pointer is what
+    // the CRC region is computed *from*) still refuses cleanly.
+    let mut image = fix.image.clone();
+    image[f..f + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+    assert!(Container::from_bytes(image).is_err());
+}
+
+/// Frame corruption is isolated: a bit-flipped frame fails its own slot
+/// with a located `ChecksumMismatch` while its neighbour loads
+/// bit-identically — one rotten tensor never poisons the container.
+#[test]
+fn container_frame_corruption_is_isolated() {
+    let fix = fixture();
+    let pristine = Container::from_bytes(fix.image.clone()).unwrap();
+    let frame0 = pristine.entries()[0].clone();
+
+    let mut image = fix.image.clone();
+    image[(frame0.offset + frame0.len / 2) as usize] ^= 0x10;
+    let container = Container::from_bytes(image).unwrap();
+
+    let e = decode_err(container.read_compressed(T0).unwrap_err());
+    assert_eq!(e.kind, DecodeErrorKind::ChecksumMismatch);
+    assert_eq!(e.tensor, Some(0));
+
+    let slots = container
+        .load_report(&[T0, T1], RecoveryPolicy::SalvageBlocks)
+        .unwrap();
+    assert!(matches!(
+        &slots[0].outcome,
+        BatchOutcome::Failed(e) if e.kind == DecodeErrorKind::ChecksumMismatch
+    ));
+    match &slots[1].outcome {
+        BatchOutcome::Ok(values) => {
+            assert_eq!(&values[..], fix.codec.decompress(&fix.ct2).data());
+        }
+        other => panic!("healthy neighbour failed: {other:?}"),
+    }
+    // Strict load refuses the corrupt tensor but serves the healthy one.
+    assert!(container.load(&[T0]).is_err());
+    assert!(container.load(&[T1]).is_ok());
+}
+
 /// Length-field lies, exhaustively: write an all-ones u32 over every
 /// 4-byte window of the metadata snapshot. No panic, no multi-gigabyte
 /// allocation, only typed errors (or a still-valid snapshot when the
@@ -379,6 +604,16 @@ fn every_decode_error_kind_is_reachable_from_ingest() {
     let mut trailing = frame.clone();
     trailing.push(0);
     reach(decode_tensor(&trailing).unwrap_err());
+
+    // ChecksumMismatch: a bit-flipped container frame fails its CRC
+    // before any decode touches it.
+    let mut image = fix.image.clone();
+    let frame0 = Container::from_bytes(image.clone()).unwrap().entries()[0].clone();
+    image[frame0.offset as usize + 10] ^= 1;
+    let corrupt_container = Container::from_bytes(image).unwrap();
+    reach(decode_err(
+        corrupt_container.read_compressed(T0).unwrap_err(),
+    ));
 
     // WorkerPanic: a panicking decode closure in the batch driver.
     let results = ecco::codec::parallel::decode_tensors_batch_with(
