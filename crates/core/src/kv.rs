@@ -11,12 +11,14 @@
 //!   the calibration set through the model; this reproduction uses
 //!   synthetic KV tensors of the same distribution family).
 
+use ecco_bits::Block64;
 use ecco_tensor::Tensor;
 use serde::{Deserialize, Serialize};
 
-use crate::block::{decode_group, encode_group_scratch};
+use crate::block::{decode_group, encode_group_scratch, DecodeError, DecodeErrorKind};
 use crate::metadata::{PatternSelector, TensorMetadata};
 use crate::metrics::CodecStats;
+use crate::parallel::{BatchOutcome, RecoveryPolicy};
 use crate::select::GroupScratch;
 use crate::weight::CompressedTensor;
 use crate::EccoConfig;
@@ -166,6 +168,120 @@ impl KvCodec {
             .collect()
     }
 
+    /// Decompresses many KV tensors in **one pool pass** — the decode
+    /// twin of [`KvCodec::compress_batch`] and the read path of the
+    /// paged serving store (`ecco-serve` promotes cold pages through
+    /// this). Per-tensor failures stay isolated: a corrupted block
+    /// poisons only its own slot, as the first [`DecodeError`] in block
+    /// order, while the rest of the batch decodes bit-identically to
+    /// [`KvCodec::decompress`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any tensor's group size mismatches the codec's
+    /// (checked up front).
+    pub fn decompress_batch(&self, cts: &[&CompressedTensor]) -> Vec<Result<Tensor, DecodeError>> {
+        for ct in cts {
+            assert_eq!(ct.group_size(), self.meta.group_size, "group size mismatch");
+        }
+        let metas: Vec<TensorMetadata> = cts
+            .iter()
+            .map(|ct| self.meta.with_scale(ct.tensor_scale()))
+            .collect();
+        let batch: Vec<&[Block64]> = cts.iter().map(|ct| ct.blocks()).collect();
+        crate::parallel::decode_tensors_batch_with(
+            &batch,
+            self.meta.group_size,
+            || (),
+            |(), ti, b, out| {
+                let (v, _) = decode_group(b, &metas[ti])?;
+                out.extend_from_slice(&v);
+                Ok(())
+            },
+        )
+        .into_iter()
+        .zip(cts)
+        .map(|(r, ct)| r.map(|data| Tensor::from_vec(ct.rows(), ct.cols(), data)))
+        .collect()
+    }
+
+    /// Skip-and-continue batched KV decompression: one pool pass over
+    /// every tensor, returning a per-tensor [`BatchOutcome`] report —
+    /// the fault-tolerant read path a serving store needs, where one
+    /// corrupted cold page must not kill a whole session's read.
+    ///
+    /// Nothing panics on malformed inputs: a tensor whose group size
+    /// disagrees with the codec's, or whose block count disagrees with
+    /// its shape, reports a located
+    /// [`DecodeErrorKind::LengthMismatch`] /
+    /// [`DecodeErrorKind::TruncatedStream`] without touching its
+    /// blocks. Healthy tensors decode bit-identically to the per-tensor
+    /// loop; under [`RecoveryPolicy::SalvageBlocks`] corrupt blocks are
+    /// zero-filled and reported individually
+    /// ([`BatchOutcome::Salvaged`]). The semantics mirror
+    /// [`WeightCodec::decompress_batch_report`](crate::WeightCodec::decompress_batch_report).
+    pub fn decompress_batch_report(
+        &self,
+        cts: &[&CompressedTensor],
+        policy: RecoveryPolicy,
+    ) -> Vec<BatchOutcome> {
+        let gs = self.meta.group_size;
+        // Shape screening: structurally inconsistent tensors fail up
+        // front (located at their batch slot) and are excluded from the
+        // pool pass by feeding an empty block list in their place.
+        let screened: Vec<Option<DecodeError>> = cts
+            .iter()
+            .enumerate()
+            .map(|(ti, ct)| {
+                let declared = ct.rows() * ct.cols();
+                if ct.group_size() != gs || declared % gs != 0 {
+                    Some(DecodeError::new(DecodeErrorKind::LengthMismatch).at_tensor(ti))
+                } else if ct.blocks().len() * gs < declared {
+                    Some(
+                        DecodeError::new(DecodeErrorKind::TruncatedStream)
+                            .at_block(ct.blocks().len())
+                            .at_tensor(ti),
+                    )
+                } else if ct.blocks().len() * gs > declared {
+                    Some(
+                        DecodeError::new(DecodeErrorKind::LengthMismatch)
+                            .at_block(ct.blocks().len())
+                            .at_tensor(ti),
+                    )
+                } else {
+                    None
+                }
+            })
+            .collect();
+        let metas: Vec<TensorMetadata> = cts
+            .iter()
+            .map(|ct| self.meta.with_scale(ct.tensor_scale()))
+            .collect();
+        let empty: &[Block64] = &[];
+        let batch: Vec<&[Block64]> = cts
+            .iter()
+            .zip(&screened)
+            .map(|(ct, s)| if s.is_some() { empty } else { ct.blocks() })
+            .collect();
+        let mut out = crate::parallel::decode_tensors_batch_report_with(
+            &batch,
+            gs,
+            policy,
+            || (),
+            |(), ti, b, out| {
+                let (v, _) = decode_group(b, &metas[ti])?;
+                out.extend_from_slice(&v);
+                Ok(())
+            },
+        );
+        for (slot, s) in out.iter_mut().zip(screened) {
+            if let Some(e) = s {
+                *slot = BatchOutcome::Failed(e);
+            }
+        }
+        out
+    }
+
     /// Decompresses a KV tensor.
     pub fn decompress(&self, ct: &CompressedTensor) -> Tensor {
         let meta = self.meta.with_scale(ct.tensor_scale());
@@ -223,6 +339,63 @@ mod tests {
             assert_eq!(stats.groups, want_stats.groups);
             assert!((stats.nmse() - want_stats.nmse()).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn batch_decompress_matches_per_tensor_loop() {
+        let tensors: Vec<Tensor> = (0..4).map(|i| kv_tensor(40 + i)).collect();
+        let refs: Vec<&Tensor> = tensors.iter().collect();
+        let codec = KvCodec::calibrate(&refs, &EccoConfig::default());
+        let cts: Vec<CompressedTensor> = refs.iter().map(|t| codec.compress(t).0).collect();
+        let ct_refs: Vec<&CompressedTensor> = cts.iter().collect();
+        let batch = codec.decompress_batch(&ct_refs);
+        for (r, ct) in batch.iter().zip(&cts) {
+            let want = codec.decompress(ct);
+            assert_eq!(
+                r.as_ref().unwrap().data(),
+                want.data(),
+                "KV batch decode diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_report_salvages_corrupt_kv_page() {
+        let t = kv_tensor(50);
+        let codec = KvCodec::calibrate(&[&t], &EccoConfig::default());
+        let (good, _) = codec.compress(&t);
+        let mut blocks = good.blocks().to_vec();
+        blocks[2] = Block64::from_bytes([0xFF; 64]);
+        let poisoned = CompressedTensor::from_parts(
+            good.rows(),
+            good.cols(),
+            good.group_size(),
+            good.tensor_scale(),
+            blocks,
+        );
+        let report =
+            codec.decompress_batch_report(&[&good, &poisoned], RecoveryPolicy::SalvageBlocks);
+        assert!(report[0].is_ok(), "healthy tensor unaffected");
+        match &report[1] {
+            BatchOutcome::Salvaged { values, bad_blocks } => {
+                let gs = codec.metadata().group_size;
+                let want = codec.decompress(&good);
+                assert_eq!(&values[..2 * gs], &want.data()[..2 * gs]);
+                assert!(values[2 * gs..3 * gs].iter().all(|&v| v == 0.0));
+                assert_eq!(bad_blocks.len(), 1);
+                assert_eq!(
+                    (bad_blocks[0].tensor, bad_blocks[0].block),
+                    (Some(1), Some(2)),
+                    "error must be located"
+                );
+            }
+            other => panic!("expected salvage, got {other:?}"),
+        }
+
+        // FailTensor: the corrupt page fails alone, located.
+        let report = codec.decompress_batch_report(&[&good, &poisoned], RecoveryPolicy::FailTensor);
+        assert!(report[0].is_ok());
+        assert!(matches!(&report[1], BatchOutcome::Failed(e) if e.tensor == Some(1)));
     }
 
     #[test]

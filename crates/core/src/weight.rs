@@ -41,6 +41,24 @@ impl CompressedTensor {
         }
     }
 
+    /// Rebuilds this tensor around a replacement block stream (same
+    /// shape, group size, and scale) — the failure-injection surface
+    /// the serving fuzz/test layers use to model bit rot in cold
+    /// storage. The result is *untrusted*: feed it only to the
+    /// report-returning decode paths
+    /// ([`WeightCodec::decompress_batch_report`](crate::WeightCodec::decompress_batch_report),
+    /// [`KvCodec::decompress_batch_report`](crate::KvCodec::decompress_batch_report)),
+    /// which map corruption onto located errors instead of panicking.
+    pub fn with_blocks(&self, blocks: Vec<Block64>) -> CompressedTensor {
+        CompressedTensor {
+            rows: self.rows,
+            cols: self.cols,
+            group_size: self.group_size,
+            tensor_scale: self.tensor_scale,
+            blocks,
+        }
+    }
+
     /// The per-tensor FP16→FP8 power-of-two scale this tensor was
     /// compressed under.
     pub fn tensor_scale(&self) -> ecco_numerics::Po2Scale {

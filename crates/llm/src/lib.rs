@@ -28,4 +28,4 @@ pub mod workload;
 
 pub use memory::MemoryFootprint;
 pub use models::ModelSpec;
-pub use workload::{DecodeWorkload, PrefillWorkload};
+pub use workload::{DecodeWorkload, PrefillWorkload, SessionPlan, TrafficEvent, TrafficMix};

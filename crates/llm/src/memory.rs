@@ -22,7 +22,9 @@ impl MemoryFootprint {
         self.weights + self.kv_cache + self.metadata
     }
 
-    /// Total in GiB-style gigabytes (10⁹, as the paper plots).
+    /// Total in decimal gigabytes (10⁹ bytes, as the paper plots —
+    /// *not* binary GiB; every `GB` label in this workspace's tables
+    /// and bench JSONs is decimal).
     pub fn total_gb(&self) -> f64 {
         self.total() / 1e9
     }

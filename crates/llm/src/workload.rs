@@ -159,6 +159,184 @@ impl PrefillWorkload {
     }
 }
 
+/// A reproducible multi-session serving traffic mix: `sessions` total
+/// sessions, each with a ragged prompt (prefill burst) and decode
+/// length drawn from the configured ranges, at most `live` of them
+/// decoding concurrently. [`TrafficMix::events`] expands the mix into
+/// the deterministic event stream the paged KV serving engine
+/// (`ecco-serve`) replays — prefill writes arrive as one burst per
+/// session, decode writes arrive one token per round-robin turn, and
+/// sessions close when their decode budget is spent.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrafficMix {
+    /// Total sessions the mix opens over its lifetime.
+    pub sessions: usize,
+    /// Target concurrently-live sessions (admission cap).
+    pub live: usize,
+    /// Inclusive range of prompt lengths, in tokens.
+    pub prompt_tokens: (usize, usize),
+    /// Inclusive range of generated (decode) lengths, in tokens.
+    pub decode_tokens: (usize, usize),
+    /// Seed of the per-session length draws.
+    pub seed: u64,
+}
+
+/// One session's drawn lengths within a [`TrafficMix`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SessionPlan {
+    /// Session index within the mix (0-based arrival order).
+    pub session: usize,
+    /// Prompt length in tokens (prefill burst).
+    pub prompt: usize,
+    /// Generated length in tokens (decode steps).
+    pub decode: usize,
+}
+
+/// One step of a serving trace (see [`TrafficMix::events`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TrafficEvent {
+    /// A session arrives (allocate its page table).
+    Open {
+        /// Arriving session index.
+        session: usize,
+    },
+    /// The session's prompt is processed: `tokens` KV rows arrive at
+    /// once — the write burst that distinguishes prefill from decode.
+    Prefill {
+        /// Session index.
+        session: usize,
+        /// Prompt length in tokens.
+        tokens: usize,
+    },
+    /// One auto-regressive decode step: a single KV row arrives.
+    Decode {
+        /// Session index.
+        session: usize,
+    },
+    /// The session ends (free its pages).
+    Close {
+        /// Departing session index.
+        session: usize,
+    },
+}
+
+/// SplitMix64 step — the dependency-free seeded generator behind the
+/// traffic draws (deterministic across platforms and thread counts).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn draw(state: &mut u64, (lo, hi): (usize, usize)) -> usize {
+    debug_assert!(lo <= hi);
+    lo + (splitmix64(state) % (hi - lo + 1) as u64) as usize
+}
+
+impl TrafficMix {
+    /// An interactive chat-style mix: short ragged prompts, long ragged
+    /// decodes — the decode-dominated regime the paper evaluates.
+    pub fn chat(sessions: usize, live: usize, seed: u64) -> TrafficMix {
+        TrafficMix {
+            sessions,
+            live,
+            prompt_tokens: (16, 128),
+            decode_tokens: (32, 256),
+            seed,
+        }
+    }
+
+    /// A summarization/RAG-style mix: long prompts, short decodes —
+    /// prefill-dominated, stressing burst admission.
+    pub fn summarize(sessions: usize, live: usize, seed: u64) -> TrafficMix {
+        TrafficMix {
+            sessions,
+            live,
+            prompt_tokens: (256, 1024),
+            decode_tokens: (8, 64),
+            seed,
+        }
+    }
+
+    /// Draws every session's lengths, in arrival order. Deterministic in
+    /// `seed` alone.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sessions` or `live` is zero, a range is inverted, or
+    /// the prompt range admits zero-length prompts.
+    pub fn plans(&self) -> Vec<SessionPlan> {
+        assert!(self.sessions > 0 && self.live > 0, "empty mix");
+        assert!(
+            self.prompt_tokens.0 >= 1 && self.prompt_tokens.0 <= self.prompt_tokens.1,
+            "bad prompt range"
+        );
+        assert!(
+            self.decode_tokens.0 <= self.decode_tokens.1,
+            "bad decode range"
+        );
+        let mut state = self.seed ^ 0xECC0_5E47;
+        (0..self.sessions)
+            .map(|session| SessionPlan {
+                session,
+                prompt: draw(&mut state, self.prompt_tokens),
+                decode: draw(&mut state, self.decode_tokens),
+            })
+            .collect()
+    }
+
+    /// Expands the mix into its serving trace: sessions are admitted in
+    /// arrival order whenever the live set has room, each admission is
+    /// an [`TrafficEvent::Open`] followed by its prefill burst, then
+    /// live sessions take round-robin single-token decode turns until
+    /// their budget is spent and they close. The stream is a pure
+    /// function of the mix.
+    pub fn events(&self) -> Vec<TrafficEvent> {
+        let plans = self.plans();
+        let mut events = Vec::new();
+        let mut next = 0usize;
+        let mut active: Vec<(usize, usize)> = Vec::new(); // (session, decode left)
+        loop {
+            while active.len() < self.live && next < plans.len() {
+                let p = plans[next];
+                events.push(TrafficEvent::Open { session: p.session });
+                events.push(TrafficEvent::Prefill {
+                    session: p.session,
+                    tokens: p.prompt,
+                });
+                active.push((p.session, p.decode));
+                next += 1;
+            }
+            if active.is_empty() {
+                break;
+            }
+            // One round-robin decode turn per live session with budget.
+            for (session, left) in active.iter_mut() {
+                if *left > 0 {
+                    events.push(TrafficEvent::Decode { session: *session });
+                    *left -= 1;
+                }
+            }
+            active.retain(|&(session, left)| {
+                if left == 0 {
+                    events.push(TrafficEvent::Close { session });
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        events
+    }
+
+    /// Total KV rows (tokens) the whole trace writes.
+    pub fn total_tokens(&self) -> usize {
+        self.plans().iter().map(|p| p.prompt + p.decode).sum()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -240,6 +418,76 @@ mod tests {
             .step_time(&e, &ExecScheme::fp16_trt())
             .total;
         assert!(fp16 < decode * 512.0 * 0.25, "prefill is a minor share");
+    }
+
+    #[test]
+    fn traffic_trace_is_deterministic_and_consistent() {
+        let mix = TrafficMix::chat(40, 8, 17);
+        assert_eq!(mix.events(), mix.events(), "trace must be reproducible");
+        assert_ne!(
+            mix.events(),
+            TrafficMix::chat(40, 8, 18).events(),
+            "seed must matter"
+        );
+
+        // Every session opens once, prefills once with its planned
+        // prompt, decodes exactly its planned budget, and closes once.
+        let plans = mix.plans();
+        let mut opened = vec![0usize; plans.len()];
+        let mut prefilled = vec![0usize; plans.len()];
+        let mut decoded = vec![0usize; plans.len()];
+        let mut closed = vec![0usize; plans.len()];
+        let mut live = 0usize;
+        let mut max_live = 0usize;
+        for e in mix.events() {
+            match e {
+                TrafficEvent::Open { session } => {
+                    opened[session] += 1;
+                    live += 1;
+                    max_live = max_live.max(live);
+                }
+                TrafficEvent::Prefill { session, tokens } => {
+                    prefilled[session] += tokens;
+                    assert_eq!(tokens, plans[session].prompt);
+                }
+                TrafficEvent::Decode { session } => decoded[session] += 1,
+                TrafficEvent::Close { session } => {
+                    closed[session] += 1;
+                    live -= 1;
+                }
+            }
+        }
+        assert!(opened.iter().all(|&n| n == 1));
+        assert!(closed.iter().all(|&n| n == 1));
+        assert!(max_live <= mix.live, "admission cap violated");
+        for p in &plans {
+            assert_eq!(decoded[p.session], p.decode, "session {}", p.session);
+        }
+        let total: usize = plans.iter().map(|p| p.prompt + p.decode).sum();
+        assert_eq!(total, mix.total_tokens());
+    }
+
+    #[test]
+    fn traffic_mixes_are_ragged_and_in_range() {
+        for mix in [
+            TrafficMix::chat(64, 16, 3),
+            TrafficMix::summarize(64, 16, 3),
+        ] {
+            let plans = mix.plans();
+            for p in &plans {
+                assert!(p.prompt >= mix.prompt_tokens.0 && p.prompt <= mix.prompt_tokens.1);
+                assert!(p.decode >= mix.decode_tokens.0 && p.decode <= mix.decode_tokens.1);
+            }
+            // Ragged: not all sessions identical.
+            assert!(
+                plans.iter().any(|p| p.prompt != plans[0].prompt),
+                "prompts not ragged"
+            );
+            assert!(
+                plans.iter().any(|p| p.decode != plans[0].decode),
+                "decodes not ragged"
+            );
+        }
     }
 
     #[test]

@@ -331,12 +331,14 @@ impl PoolBuilder {
 
 /// Pool size from the environment: `ECCO_THREADS` (this workspace's
 /// knob), then `RAYON_NUM_THREADS` (honoured for continuity with the
-/// scoped-thread stub), then `available_parallelism`. Zero or
-/// unparsable values fall through.
+/// scoped-thread stub), then `available_parallelism`. Values are
+/// trimmed before parsing — `ECCO_THREADS="4\n"` from a shell command
+/// substitution must not silently fall through to
+/// `available_parallelism`. Zero or unparsable values fall through.
 pub fn threads_from_env() -> usize {
     for var in ["ECCO_THREADS", "RAYON_NUM_THREADS"] {
         if let Ok(v) = std::env::var(var) {
-            if let Ok(n) = v.parse::<usize>() {
+            if let Ok(n) = v.trim().parse::<usize>() {
                 if n > 0 {
                     return n;
                 }
@@ -670,9 +672,19 @@ mod tests {
         assert_eq!(threads_from_env(), 3);
         let p = PoolBuilder::new().from_env().build();
         assert_eq!(p.executors(), 3);
+        // Shell command substitution (`ECCO_THREADS="$(nproc)"`) leaves a
+        // trailing newline; padded values must parse, not fall through.
+        std::env::set_var("ECCO_THREADS", "4\n");
+        assert_eq!(threads_from_env(), 4);
+        std::env::set_var("ECCO_THREADS", "  5  ");
+        assert_eq!(threads_from_env(), 5);
         std::env::set_var("ECCO_THREADS", "0");
         std::env::set_var("RAYON_NUM_THREADS", "2");
         assert_eq!(threads_from_env(), 2);
+        std::env::set_var("RAYON_NUM_THREADS", "\t2 ");
+        assert_eq!(threads_from_env(), 2);
+        std::env::set_var("RAYON_NUM_THREADS", "not-a-number");
+        assert!(threads_from_env() >= 1); // falls through, never panics
         std::env::remove_var("RAYON_NUM_THREADS");
         std::env::remove_var("ECCO_THREADS");
         assert!(threads_from_env() >= 1);

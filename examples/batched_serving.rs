@@ -41,7 +41,10 @@ fn main() {
         max_calibration_groups: 512,
         ..EccoConfig::default()
     };
-    let codec = KvCodec::calibrate(&refs[..4], &cfg);
+    // Calibrate on up to the first 4 requests — clamped so a smaller
+    // demo (fewer live requests) calibrates on what exists instead of
+    // panicking; at the default 24 requests the slice is unchanged.
+    let codec = KvCodec::calibrate(&refs[..refs.len().min(4)], &cfg);
 
     // Per-tensor loop: each request runs its own pipeline, one after the
     // other (what a naive server does).

@@ -16,7 +16,8 @@
 //! | [`baselines`] | `ecco-baselines` | RTN / AWQ / GPTQ-R / SmoothQuant / Olive / QuaRot / QoQ |
 //! | [`hw`] | `ecco-hw` | parallel decoder, bitonic sorter, compressor, area/power |
 //! | [`sim`] | `ecco-sim` | GPU memory-system timing simulator |
-//! | [`llm`] | `ecco-llm` | model zoo, decode workloads, memory footprints |
+//! | [`llm`] | `ecco-llm` | model zoo, decode workloads, traffic mixes, memory footprints |
+//! | [`serve`] | `ecco-serve` | multi-tenant paged KV store, compressed cold tier |
 //! | [`accuracy`] | `ecco-accuracy` | proxy perplexity / zero-shot harness |
 //!
 //! # Quick start
@@ -50,6 +51,7 @@ pub use ecco_kmeans as kmeans;
 pub use ecco_llm as llm;
 pub use ecco_numerics as numerics;
 pub use ecco_pool as pool;
+pub use ecco_serve as serve;
 pub use ecco_sim as sim;
 pub use ecco_tensor as tensor;
 
@@ -59,8 +61,9 @@ pub mod prelude {
         ActivationCodec, AdaptiveCodec, AdaptivePolicy, CodecStats, EccoConfig, KvCodec,
         PatternSelector, TensorMetadata, WeightCodec,
     };
-    pub use ecco_llm::{DecodeWorkload, ModelSpec};
+    pub use ecco_llm::{DecodeWorkload, ModelSpec, TrafficMix};
     pub use ecco_pool::{with_pool, Pool, PoolBuilder};
+    pub use ecco_serve::{Admission, PagedKvStore, ServeConfig};
     pub use ecco_sim::{DecompressorModel, EnergyModel, ExecScheme, GpuSpec, SimEngine};
     pub use ecco_tensor::{synth::SynthSpec, Tensor, TensorKind};
 }
