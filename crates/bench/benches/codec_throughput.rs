@@ -16,7 +16,12 @@
 //! front end on weight and K-cache blocks: scalar-per-probe
 //! (`windows8_per_probe`) vs batched-portable (`windows8_portable`) vs
 //! the host SIMD tier (the dispatched `windows8` hot path with the
-//! tier pinned; `null` when unsupported), a `pool_spawn` section
+//! tier pinned; `null` when unsupported), plus the block-at-a-time
+//! `windows_all` fill the fused decoder front-ends with (all 64
+//! segments per call), a `decode_to_values` section comparing the
+//! fused decode-to-values walk (`decode_block_parallel_into`) against
+//! the retired two-pass decoder (`decode_block_parallel_two_pass`) on
+//! weight and K-cache blocks, a `pool_spawn` section
 //! measuring spawn amortization on small tensors (per-call scoped-thread
 //! sharding — the pre-pool scheduler, reimplemented as the baseline —
 //! vs the persistent pool's fast path and its forced queue dispatch),
@@ -39,7 +44,9 @@
 //!   pinned sequential reference `calibrate_weighted_seq`.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use ecco_bits::{set_window_dispatch, window_dispatch, Block64, BlockCursor, WindowDispatch};
+use ecco_bits::{
+    set_window_dispatch, window_dispatch, Block64, BlockCursor, WindowDispatch, WINDOW_SEGMENTS,
+};
 use ecco_core::parallel::encode_groups_parallel_unchecked;
 use ecco_core::{
     decode_group, encode_group, encode_group_scratch, normalize_group, select_pattern_ref,
@@ -111,7 +118,7 @@ fn bench(c: &mut Criterion) {
         .map(|g| encode_group(g, &kmeta, PatternSelector::MinMax).0)
         .collect();
 
-    write_bench_json(&meta, &blocks, &kc_blocks);
+    write_bench_json(&meta, &blocks, &kmeta, &kc_blocks);
     write_encode_json(&t, &meta, &cfg);
 }
 
@@ -129,7 +136,7 @@ fn bench(c: &mut Criterion) {
 /// SIMD itself and the comparison measures nothing. Each arm takes the
 /// best of three timed runs to shave scheduler noise on the shared
 /// container.
-fn window_extract_ns(blocks: &[Block64]) -> (f64, f64, Option<f64>) {
+fn window_extract_ns(blocks: &[Block64]) -> (f64, f64, Option<f64>, f64, Option<f64>) {
     const SEGS: usize = ecco_hw::paradec::NUM_SEGMENTS;
     let best_of = |f: &mut dyn FnMut() -> f64| (0..3).map(|_| f()).fold(f64::INFINITY, f64::min);
     let cursors: Vec<BlockCursor> = blocks.iter().map(Block64::cursor).collect();
@@ -155,11 +162,23 @@ fn window_extract_ns(blocks: &[Block64]) -> (f64, f64, Option<f64>) {
             }
         })
     });
-    // Time the SIMD tier through the dispatched hot path (`windows8`
-    // with the tier pinned) — what `decode_into` actually runs — rather
-    // than the re-detecting `windows8_simd` probe. `set_window_dispatch`
+    // Block-at-a-time fill (all 64 segments per call) through the
+    // portable arm — the consumer is `fill_records`, which takes the
+    // whole matrix as one unit.
+    let mut rows = [[0u64; 8]; WINDOW_SEGMENTS];
+    let block_portable = best_of(&mut || {
+        time_ns(|| {
+            for cur in &cursors {
+                cur.windows_all_portable(15, &mut rows);
+                black_box(&rows);
+            }
+        })
+    });
+    // Time the SIMD tier through the dispatched hot paths (`windows8` /
+    // `windows_all` with the tier pinned) — what `decode_into` actually
+    // runs — rather than the re-detecting probes. `set_window_dispatch`
     // clamps to supported tiers, so on a SIMD-less host neither pin
-    // sticks and the arm reports `null`.
+    // sticks and the arms report `null`.
     let host_tier = window_dispatch();
     let simd_tier = [WindowDispatch::Avx2, WindowDispatch::Neon]
         .into_iter()
@@ -175,15 +194,26 @@ fn window_extract_ns(blocks: &[Block64]) -> (f64, f64, Option<f64>) {
             })
         })
     });
+    let block_simd = simd_tier.map(|_| {
+        best_of(&mut || {
+            time_ns(|| {
+                for cur in &cursors {
+                    cur.windows_all(15, &mut rows);
+                    black_box(&rows);
+                }
+            })
+        })
+    });
     set_window_dispatch(host_tier);
-    (per_probe, portable, simd)
+    (per_probe, portable, simd, block_portable, block_simd)
 }
 
 /// One `window_extract` JSON object for a block set (throughputs in
 /// windows/s; SIMD entries are `null` when the host has no SIMD tier).
 fn window_extract_section(blocks: &[Block64]) -> String {
     let windows = (blocks.len() * ecco_hw::paradec::NUM_SEGMENTS * 8) as f64;
-    let (probe_ns, portable_ns, simd_ns) = window_extract_ns(blocks);
+    let (probe_ns, portable_ns, simd_ns, block_portable_ns, block_simd_ns) =
+        window_extract_ns(blocks);
     let per_s = |ns: f64| windows / ns * 1e9;
     let fmt_rate = |v: Option<f64>| v.map_or("null".to_string(), |x| format!("{x:.0}"));
     let fmt_ratio = |v: Option<f64>| v.map_or("null".to_string(), |x| format!("{x:.2}"));
@@ -192,13 +222,70 @@ fn window_extract_section(blocks: &[Block64]) -> String {
            \"per_probe_scalar_windows_per_s\": {probe:.0},\n      \
            \"batched_portable_windows_per_s\": {portable:.0},\n      \
            \"simd_windows_per_s\": {simd},\n      \
+           \"block_portable_windows_per_s\": {block_portable:.0},\n      \
+           \"simd_block_windows_per_s\": {block_simd},\n      \
            \"portable_vs_per_probe_speedup\": {portable_speedup:.2},\n      \
-           \"simd_vs_per_probe_speedup\": {simd_speedup}\n    }}",
+           \"simd_vs_per_probe_speedup\": {simd_speedup},\n      \
+           \"simd_block_vs_per_probe_speedup\": {block_speedup}\n    }}",
         probe = per_s(probe_ns),
         portable = per_s(portable_ns),
         simd = fmt_rate(simd_ns.map(per_s)),
+        block_portable = per_s(block_portable_ns),
+        block_simd = fmt_rate(block_simd_ns.map(per_s)),
         portable_speedup = probe_ns / portable_ns,
         simd_speedup = fmt_ratio(simd_ns.map(|s| probe_ns / s)),
+        block_speedup = fmt_ratio(block_simd_ns.map(|s| probe_ns / s)),
+    )
+}
+
+/// Whole-block decode-to-values timings over one block set: the retired
+/// two-pass decoder (symbol walk into a scratch, then a reconstruction
+/// sweep) vs the fused walk that gathers values through the per-block
+/// centroid×scale table as records merge. Mean ns per whole-set pass,
+/// each arm the best of three timed runs.
+fn decode_to_values_ns(blocks: &[Block64], meta: &TensorMetadata) -> (f64, f64) {
+    let best_of = |f: &mut dyn FnMut() -> f64| (0..3).map(|_| f()).fold(f64::INFINITY, f64::min);
+    let mut scratch = DecodeScratch::default();
+    let mut values = Vec::with_capacity(GROUP);
+    let two_pass = best_of(&mut || {
+        time_ns(|| {
+            for blk in blocks {
+                ecco_hw::decode_block_parallel_two_pass(
+                    black_box(blk),
+                    meta,
+                    &mut scratch,
+                    &mut values,
+                )
+                .unwrap();
+                black_box(&values);
+            }
+        })
+    });
+    let fused = best_of(&mut || {
+        time_ns(|| {
+            for blk in blocks {
+                values.clear();
+                ecco_hw::decode_block_parallel_into(black_box(blk), meta, &mut values).unwrap();
+                black_box(&values);
+            }
+        })
+    });
+    (two_pass, fused)
+}
+
+/// One `decode_to_values` JSON object for a block set.
+fn decode_to_values_section(blocks: &[Block64], meta: &TensorMetadata) -> String {
+    let symbols = (blocks.len() * GROUP) as f64;
+    let (two_ns, fused_ns) = decode_to_values_ns(blocks, meta);
+    let per_s = |ns: f64| symbols / ns * 1e9;
+    format!(
+        "{{\n      \
+           \"two_pass_syms_per_s\": {two:.0},\n      \
+           \"fused_syms_per_s\": {fused:.0},\n      \
+           \"fused_vs_two_pass_speedup\": {speedup:.2}\n    }}",
+        two = per_s(two_ns),
+        fused = per_s(fused_ns),
+        speedup = two_ns / fused_ns,
     )
 }
 
@@ -236,18 +323,11 @@ fn pool_timings(
                         .chunks(shard)
                         .map(|run| {
                             s.spawn(move || {
-                                let mut scratch = DecodeScratch::default();
-                                let mut values = Vec::with_capacity(GROUP);
                                 let mut out = Vec::with_capacity(run.len() * GROUP);
                                 for b in run {
-                                    ecco_hw::decode_block_parallel_into(
-                                        b,
-                                        meta,
-                                        &mut scratch,
-                                        &mut values,
-                                    )
-                                    .unwrap();
-                                    out.extend_from_slice(&values);
+                                    // The fused decoder appends, so the
+                                    // shard buffer is the output.
+                                    ecco_hw::decode_block_parallel_into(b, meta, &mut out).unwrap();
                                 }
                                 out
                             })
@@ -426,7 +506,12 @@ fn parse_header<'m>(
     (&meta.books[h.kp][h.book_id], h.data_start)
 }
 
-fn write_bench_json(meta: &TensorMetadata, blocks: &[Block64], kc_blocks: &[Block64]) {
+fn write_bench_json(
+    meta: &TensorMetadata,
+    blocks: &[Block64],
+    kmeta: &TensorMetadata,
+    kc_blocks: &[Block64],
+) {
     let n = blocks.len();
     let symbols = (n * GROUP) as f64;
     let parsed: Vec<(&ecco_entropy::Codebook, usize)> =
@@ -457,12 +542,11 @@ fn write_bench_json(meta: &TensorMetadata, blocks: &[Block64], kc_blocks: &[Bloc
             black_box(decode_group(black_box(blk), meta).unwrap());
         }
     });
-    let mut scratch = DecodeScratch::default();
     let mut values = Vec::with_capacity(GROUP);
     let lut_block_ns = time_ns(|| {
         for blk in blocks {
-            ecco_hw::decode_block_parallel_into(black_box(blk), meta, &mut scratch, &mut values)
-                .unwrap();
+            values.clear();
+            ecco_hw::decode_block_parallel_into(black_box(blk), meta, &mut values).unwrap();
         }
     });
     let pipeline_hw_ns = time_ns(|| {
@@ -506,6 +590,9 @@ fn write_bench_json(meta: &TensorMetadata, blocks: &[Block64], kc_blocks: &[Bloc
            \"window_bits\": 15,\n    \
            \"weight\": {wsec},\n    \
            \"kcache\": {ksec}\n  }},\n  \
+         \"decode_to_values\": {{\n    \
+           \"weight\": {wdtv},\n    \
+           \"kcache\": {kdtv}\n  }},\n  \
          \"block_decode\": {{\n    \
            \"sequential_reference_syms_per_s\": {seq:.0},\n    \
            \"lut_model_syms_per_s\": {lutb:.0},\n    \
@@ -527,7 +614,7 @@ fn write_bench_json(meta: &TensorMetadata, blocks: &[Block64], kc_blocks: &[Bloc
            \"per_tensor_pooled_tensors_per_s\": {pooled_tps:.0},\n    \
            \"batched_submission_tensors_per_s\": {batch_tps:.0},\n    \
            \"batched_vs_per_tensor_speedup\": {batch_speedup:.2},\n    \
-           \"notes\": \"the 0.95x regression came from one queue claim per 4-block tensor: 128 claims each paid a queue wake-up, slot lock and fresh decode scratch; claim_ranges now groups contiguous tensors into block-target-sized claims sharing one scratch, bringing batched submission to parity with the per-tensor loop (0.98-1.01x run to run on the 1-core container; the win shows on real multi-core hosts)\"\n  }},\n  \
+           \"notes\": \"the original 0.95x regression came from one queue claim per 4-block tensor: 128 claims each paid a queue wake-up, slot lock and fresh decode scratch; claim_ranges groups contiguous tensors into block-target-sized claims sharing one scratch, which brought batched submission to parity pre-fusion (0.98-1.01x). The fused decode-to-values walk then cut per-block decode time ~3x, so the one-submission fixed cost is proportionally visible again on the 1-core container (~0.85-0.9x); the batched win shows on real multi-core hosts where a single submission amortizes across workers\"\n  }},\n  \
          \"container_load\": {csec}\n}}\n",
         csec = container_load_section(),
         threads = rayon::current_num_threads(),
@@ -536,6 +623,8 @@ fn write_bench_json(meta: &TensorMetadata, blocks: &[Block64], kc_blocks: &[Bloc
         raw_speedup = seed_ns / lut_ns,
         wsec = window_extract_section(blocks),
         ksec = window_extract_section(kc_blocks),
+        wdtv = decode_to_values_section(blocks, meta),
+        kdtv = decode_to_values_section(kc_blocks, kmeta),
         seq = per_s(seq_ns),
         lutb = per_s(lut_block_ns),
         piper = per_s(pipeline_ref_ns),

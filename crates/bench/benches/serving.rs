@@ -41,7 +41,8 @@ fn lat_json(l: &LatencyStats) -> String {
 }
 
 fn main() {
-    let quick = std::env::var("ECCO_QUICK").is_ok();
+    // Parsed, not just probed: `ECCO_QUICK=0` means the full trace.
+    let quick = ecco_core::quick_from_env();
     let model = ModelSpec::llama31_8b();
     let mix = if quick {
         TrafficMix::chat(48, 12, 0xECC0)

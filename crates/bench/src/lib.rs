@@ -7,11 +7,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-/// Returns `true` when reduced sweeps were requested via `ECCO_QUICK=1`.
+/// Returns `true` when reduced sweeps were requested via `ECCO_QUICK`.
+///
+/// Delegates to [`ecco_core::quick_from_env`] — the one shared parser —
+/// so `ECCO_QUICK=0` (or an empty value) runs the full sweep everywhere.
 pub fn quick_mode() -> bool {
-    std::env::var("ECCO_QUICK")
-        .map(|v| v == "1")
-        .unwrap_or(false)
+    ecco_core::quick_from_env()
 }
 
 /// Prints a fixed-width table: a header row, a rule, then rows.

@@ -52,6 +52,9 @@ use std::sync::atomic::{AtomicU8, Ordering};
 pub const BLOCK_BYTES: usize = 64;
 /// Number of bits in an Ecco compressed block.
 pub const BLOCK_BITS: usize = BLOCK_BYTES * 8;
+/// Number of 8-bit window segments per block — the row count of a
+/// whole-block [`BlockCursor::windows_all`] fill.
+pub const WINDOW_SEGMENTS: usize = BLOCK_BITS / 8;
 
 /// An MSB-first bit accumulator backed by a growable byte buffer.
 ///
@@ -572,6 +575,82 @@ impl BlockCursor {
             None
         }
     }
+
+    /// Extracts **every** segment's eight offset windows in one call —
+    /// all [`WINDOW_SEGMENTS`]` × 8` windows of the block at width `n`,
+    /// row `seg` holding the windows starting at bits
+    /// `seg*8 .. seg*8 + 8` — through the active [`WindowDispatch`] tier.
+    /// Windows past bit 512 are zero-padded, exactly like
+    /// [`BlockCursor::window`].
+    ///
+    /// This is the decoder's whole-block record fill: a per-segment
+    /// [`BlockCursor::windows8`] hits a non-inlinable `#[target_feature]`
+    /// shim 64 times per block, which is why the per-segment SIMD tier
+    /// trailed the portable one (`BENCH_codec.json` `window_extract`).
+    /// Here one shim call covers the whole block, so the intrinsic tier
+    /// amortizes its call overhead across all 512 windows. Every tier is
+    /// bit-identical; the differential proptests pin
+    /// block-fill == per-segment == per-probe on both arms.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if `n` is outside `1..=15`.
+    #[inline]
+    pub fn windows_all(&self, n: u32, out: &mut [[u64; 8]; WINDOW_SEGMENTS]) {
+        debug_assert!((1..=15).contains(&n), "windows_all widths are 1..=15");
+        match window_dispatch() {
+            WindowDispatch::Portable => self.windows_all_portable(n, out),
+            tier => {
+                #[cfg(any(target_arch = "x86_64", target_arch = "aarch64"))]
+                if simd::windows_all_for_tier(tier, &self.words, n, out) {
+                    return;
+                }
+                #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+                let _ = tier;
+                self.windows_all_portable(n, out);
+            }
+        }
+    }
+
+    /// The portable whole-block fill: one [`BlockCursor::windows8_portable`]
+    /// batch per segment, no intrinsics. The tier the `force-scalar` /
+    /// `ECCO_FORCE_SCALAR` pin routes [`BlockCursor::windows_all`] to,
+    /// and the baseline the SIMD block fills are differentially tested
+    /// against.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if `n` is outside `1..=15`.
+    #[inline]
+    pub fn windows_all_portable(&self, n: u32, out: &mut [[u64; 8]; WINDOW_SEGMENTS]) {
+        debug_assert!((1..=15).contains(&n), "windows_all widths are 1..=15");
+        for (seg, row) in out.iter_mut().enumerate() {
+            *row = windows8_from_cat(self.batch_cat(seg * 8, n), n);
+        }
+    }
+
+    /// The SIMD whole-block fill, bypassing the dispatch point: `true`
+    /// iff the host supports a SIMD tier and filled `out` through it.
+    /// Used by the differential tests and the bench harness to probe the
+    /// block-at-a-time SIMD arm explicitly regardless of the active
+    /// dispatch.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if `n` is outside `1..=15`.
+    #[inline]
+    pub fn windows_all_simd(&self, n: u32, out: &mut [[u64; 8]; WINDOW_SEGMENTS]) -> bool {
+        debug_assert!((1..=15).contains(&n), "windows_all widths are 1..=15");
+        #[cfg(any(target_arch = "x86_64", target_arch = "aarch64"))]
+        {
+            simd::windows_all(&self.words, n, out)
+        }
+        #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+        {
+            let _ = (n, out);
+            false
+        }
+    }
 }
 
 /// Two-shift expansion of one preloaded word suffix into the eight
@@ -783,6 +862,87 @@ mod simd {
         }
         out
     }
+
+    /// The whole-block fill, re-detecting AVX2 (a cached atomic load in
+    /// std) so it is safe to call unconditionally — backs the explicit
+    /// `windows_all_simd` probe. `true` iff `out` was filled.
+    #[inline]
+    pub(crate) fn windows_all(
+        words: &[u64; 9],
+        n: u32,
+        out: &mut [[u64; 8]; crate::WINDOW_SEGMENTS],
+    ) -> bool {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: AVX2 support was just verified on this host.
+            unsafe { windows_all_avx2(words, n, out) };
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The dispatched whole-block hot path: runs the shim for a tier
+    /// already resolved by the dispatch cache, skipping re-detection.
+    /// `false` for tiers this architecture has no shim for.
+    #[inline]
+    pub(crate) fn windows_all_for_tier(
+        tier: crate::WindowDispatch,
+        words: &[u64; 9],
+        n: u32,
+        out: &mut [[u64; 8]; crate::WINDOW_SEGMENTS],
+    ) -> bool {
+        match tier {
+            // SAFETY: the dispatch cache only ever holds `Avx2` after
+            // `supported_simd` verified AVX2 on this host (see the
+            // invariant on `DISPATCH`).
+            crate::WindowDispatch::Avx2 => {
+                unsafe { windows_all_avx2(words, n, out) };
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Every segment's eight offset windows in one `#[target_feature]`
+    /// call: the shift constants are hoisted out of the loop and the
+    /// per-segment word-pair concatenation (`batch_cat`) is inlined, so
+    /// the non-inlinable shim boundary is crossed once per block instead
+    /// of once per segment.
+    ///
+    /// # Safety
+    ///
+    /// The caller must ensure the host supports AVX2.
+    #[target_feature(enable = "avx2")]
+    unsafe fn windows_all_avx2(
+        words: &[u64; 9],
+        n: u32,
+        out: &mut [[u64; 8]; crate::WINDOW_SEGMENTS],
+    ) {
+        let off_lo = _mm256_set_epi64x(3, 2, 1, 0);
+        let off_hi = _mm256_set_epi64x(7, 6, 5, 4);
+        let right = _mm_cvtsi32_si128((64 - n) as i32);
+        for (seg, row) in out.iter_mut().enumerate() {
+            let pos = seg * 8;
+            let word = pos >> 6;
+            let off = (pos & 63) as u32;
+            // `batch_cat`, inlined: the 64-bit concatenation covering
+            // windows `pos..pos + 7 + n`.
+            let cat = if off + 7 + n <= 64 {
+                words[word] << off
+            } else {
+                (words[word] << off) | (words[word + 1] >> (64 - off))
+            };
+            let v = _mm256_set1_epi64x(cat as i64);
+            let lo = _mm256_srl_epi64(_mm256_sllv_epi64(v, off_lo), right);
+            let hi = _mm256_srl_epi64(_mm256_sllv_epi64(v, off_hi), right);
+            // SAFETY: each row is 64 bytes, exactly two unaligned
+            // 256-bit stores.
+            unsafe {
+                _mm256_storeu_si256(row.as_mut_ptr().cast::<__m256i>(), lo);
+                _mm256_storeu_si256(row.as_mut_ptr().add(4).cast::<__m256i>(), hi);
+            }
+        }
+    }
 }
 
 /// The NEON twin of the AVX2 shim: four 128-bit variable-shift lanes of
@@ -791,7 +951,9 @@ mod simd {
 #[cfg(target_arch = "aarch64")]
 #[allow(unsafe_code)]
 mod simd {
-    use std::arch::aarch64::{vandq_u64, vdupq_n_u64, vld1q_s64, vshlq_u64, vst1q_u64};
+    use std::arch::aarch64::{
+        vandq_u64, vdupq_n_s64, vdupq_n_u64, vld1q_s64, vshlq_u64, vst1q_u64,
+    };
 
     /// All eight offset windows of one preloaded word pair. Always `Some`
     /// on AArch64 (NEON is part of the baseline ABI).
@@ -837,6 +999,79 @@ mod simd {
             }
         }
         out
+    }
+
+    /// The whole-block fill. Always fills on AArch64 (NEON is part of
+    /// the baseline ABI); backs the explicit `windows_all_simd` probe.
+    #[inline]
+    pub(crate) fn windows_all(
+        words: &[u64; 9],
+        n: u32,
+        out: &mut [[u64; 8]; crate::WINDOW_SEGMENTS],
+    ) -> bool {
+        // SAFETY: NEON is mandatory in the AArch64 baseline ABI.
+        unsafe { windows_all_neon(words, n, out) };
+        true
+    }
+
+    /// The dispatched whole-block hot path: NEON needs no detection, so
+    /// this only filters out tiers this architecture has no shim for.
+    #[inline]
+    pub(crate) fn windows_all_for_tier(
+        tier: crate::WindowDispatch,
+        words: &[u64; 9],
+        n: u32,
+        out: &mut [[u64; 8]; crate::WINDOW_SEGMENTS],
+    ) -> bool {
+        match tier {
+            crate::WindowDispatch::Neon => windows_all(words, n, out),
+            _ => false,
+        }
+    }
+
+    /// Every segment's eight offset windows in one `#[target_feature]`
+    /// call: the shift vectors and mask are hoisted out of the loop and
+    /// the per-segment word-pair concatenation (`batch_cat`) is inlined,
+    /// so the non-inlinable shim boundary is crossed once per block
+    /// instead of once per segment.
+    ///
+    /// # Safety
+    ///
+    /// The caller must ensure the host supports NEON (always true for
+    /// AArch64 targets).
+    #[target_feature(enable = "neon")]
+    unsafe fn windows_all_neon(
+        words: &[u64; 9],
+        n: u32,
+        out: &mut [[u64; 8]; crate::WINDOW_SEGMENTS],
+    ) {
+        let mask = vdupq_n_u64((1u64 << n) - 1);
+        let base = (64 - n) as i64;
+        let mut shifts = [vdupq_n_s64(0); 4];
+        for (pair, sh) in shifts.iter_mut().enumerate() {
+            // `vshlq_u64` shifts right for negative counts.
+            let counts = [-(base - 2 * pair as i64), -(base - 2 * pair as i64 - 1)];
+            // SAFETY: `counts` holds two i64 lanes.
+            *sh = unsafe { vld1q_s64(counts.as_ptr()) };
+        }
+        for (seg, row) in out.iter_mut().enumerate() {
+            let pos = seg * 8;
+            let word = pos >> 6;
+            let off = (pos & 63) as u32;
+            // `batch_cat`, inlined: the 64-bit concatenation covering
+            // windows `pos..pos + 7 + n`.
+            let cat = if off + 7 + n <= 64 {
+                words[word] << off
+            } else {
+                (words[word] << off) | (words[word + 1] >> (64 - off))
+            };
+            let v = vdupq_n_u64(cat);
+            for (pair, sh) in shifts.iter().enumerate() {
+                let w = vandq_u64(vshlq_u64(v, *sh), mask);
+                // SAFETY: `row[2 * pair..]` has room for two u64 lanes.
+                unsafe { vst1q_u64(row.as_mut_ptr().add(2 * pair), w) };
+            }
+        }
     }
 }
 
@@ -990,6 +1225,60 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn windows_all_tiers_identical_on_all_widths() {
+        // The whole-block fill must match the per-segment batch (itself
+        // pinned to the per-probe scalar oracle above) on every tier:
+        // dispatched == portable == SIMD (when supported), every
+        // segment, every width, several blocks.
+        for seed in 0..4u64 {
+            let block = scrambled_block(seed);
+            let cur = block.cursor();
+            for n in 1..=15u32 {
+                let mut expect = [[0u64; 8]; WINDOW_SEGMENTS];
+                for (seg, row) in expect.iter_mut().enumerate() {
+                    *row = cur.windows8_per_probe(seg * 8, n);
+                }
+                let mut portable = [[0u64; 8]; WINDOW_SEGMENTS];
+                cur.windows_all_portable(n, &mut portable);
+                assert_eq!(portable, expect, "portable block fill diverged at n {n}");
+                let mut dispatched = [[0u64; 8]; WINDOW_SEGMENTS];
+                cur.windows_all(n, &mut dispatched);
+                assert_eq!(
+                    dispatched, expect,
+                    "dispatched block fill diverged at n {n}"
+                );
+                let mut simd = [[0u64; 8]; WINDOW_SEGMENTS];
+                if cur.windows_all_simd(n, &mut simd) {
+                    assert_eq!(simd, expect, "SIMD block fill diverged at n {n}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn windows_all_matches_on_both_dispatch_arms() {
+        // Pin each arm explicitly and compare against the portable fill,
+        // so the dispatched path is exercised on whichever tiers the
+        // host has regardless of the ambient dispatch state.
+        let initial = window_dispatch();
+        let block = scrambled_block(11);
+        let cur = block.cursor();
+        let mut expect = [[0u64; 8]; WINDOW_SEGMENTS];
+        cur.windows_all_portable(15, &mut expect);
+        for tier in [
+            WindowDispatch::Portable,
+            WindowDispatch::Avx2,
+            WindowDispatch::Neon,
+        ] {
+            set_window_dispatch(tier);
+            let mut got = [[0u64; 8]; WINDOW_SEGMENTS];
+            cur.windows_all(15, &mut got);
+            assert_eq!(got, expect, "block fill diverged on {tier:?}");
+        }
+        set_window_dispatch(initial);
     }
 
     #[test]

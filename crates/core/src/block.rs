@@ -485,13 +485,161 @@ pub struct DecodedGroupInfo {
     pub applied_outliers: usize,
 }
 
+/// A per-block symbol → reconstructed-value table: all 15 centroids and
+/// the [`SCALE_SYMBOL`] pre-multiplied by the block's scale factor with
+/// [`ecco_numerics::round_f16`] folded in, so the decode walk emits f32
+/// by one array gather per symbol instead of a second reconstruction
+/// pass.
+///
+/// `round_f16` is a pure function of `(centroid, scale)`, so gathering
+/// from this table is bit-identical to reconstructing each symbol
+/// inline — the fused decoders and the pinned two-pass baselines are
+/// differentially tested on exactly this claim.
+#[derive(Clone, Copy, Debug)]
+pub struct BlockValueTable {
+    /// Indexed by decoded symbol (`0..SYMBOL_COUNT`); slot
+    /// [`SCALE_SYMBOL`] holds the *signed* scale, the rest
+    /// `round_f16(centroid × |scale|)`.
+    values: [f32; crate::pattern::SYMBOL_COUNT],
+    /// The clipped-tail fill: the zero-centroid slot's value.
+    tail_fill: f32,
+}
+
+impl BlockValueTable {
+    /// Builds the table for one block from its pattern and expanded,
+    /// FP16-rounded signed scale.
+    ///
+    /// An all-zero group has scale 0 and every slot reconstructs to an
+    /// exact zero, exactly like the hardware's `pattern × SF` multiplier.
+    pub fn new(pattern: &crate::pattern::KmeansPattern, scale_signed: f32) -> Self {
+        let scale_mag = scale_signed.abs();
+        let mut values = [0f32; crate::pattern::SYMBOL_COUNT];
+        for (slot, &c) in values.iter_mut().zip(pattern.centroids().iter()) {
+            *slot = ecco_numerics::round_f16(c * scale_mag);
+        }
+        values[SCALE_SYMBOL as usize] = scale_signed;
+        Self {
+            values,
+            tail_fill: values[pattern.zero_symbol() as usize],
+        }
+    }
+
+    /// The reconstructed value of one decoded symbol.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sym >= SYMBOL_COUNT`; every validated data codebook
+    /// ([`validate_data_book`]) only emits symbols below that bound.
+    #[inline]
+    pub fn value(&self, sym: u16) -> f32 {
+        self.values[sym as usize]
+    }
+
+    /// The clipped-tail fill value (`round_f16(zero_centroid × |scale|)`).
+    #[inline]
+    pub fn tail_fill(&self) -> f32 {
+        self.tail_fill
+    }
+}
+
 /// Decompresses one block back into `meta.group_size` FP16 values.
+///
+/// Thin wrapper over the fused [`decode_group_into`], kept for callers
+/// that want an owned buffer per block.
 ///
 /// # Errors
 ///
 /// Returns a [`DecodeError`] for corrupted headers; the symbol stream
 /// itself is always decodable (clipping is handled by reconstruction).
 pub fn decode_group(
+    block: &Block64,
+    meta: &TensorMetadata,
+) -> Result<(Vec<f32>, DecodedGroupInfo), DecodeError> {
+    let mut values = Vec::with_capacity(meta.group_size);
+    let info = decode_group_into(block, meta, &mut values)?;
+    Ok((values, info))
+}
+
+/// The fused decode walk: decompresses one block, **appending**
+/// `meta.group_size` FP16 values to `values` — each decoded symbol is
+/// gathered through a precomputed [`BlockValueTable`] as it is resolved,
+/// with no intermediate symbol buffer or second reconstruction pass.
+///
+/// On error nothing is appended. Bit-identical to the pinned
+/// [`decode_group_two_pass`] baseline on every input.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] for corrupted headers; the symbol stream
+/// itself is always decodable (clipping is handled by reconstruction).
+pub fn decode_group_into(
+    block: &Block64,
+    meta: &TensorMetadata,
+    values: &mut Vec<f32>,
+) -> Result<DecodedGroupInfo, DecodeError> {
+    let header = parse_block_header(block, meta)?;
+    let book = &meta.books[header.kp][header.book_id];
+    validate_data_book(book)?;
+    let pattern = &meta.patterns[header.kp];
+    let mut r = block.reader();
+    r.seek(header.data_start);
+
+    let sf = F8E4M3::from_bits(header.sf_bits);
+    let scale_signed = ecco_numerics::round_f16(meta.tensor_scale.expand(sf.to_f32()));
+    let table = BlockValueTable::new(pattern, scale_signed);
+
+    // Decode up to group_size symbols, mapping each through the value
+    // table as it resolves; a clipped tail terminates decoding
+    // (prefix-freeness makes the truncation point unambiguous). The
+    // decode-table view is fetched once per block, not per symbol.
+    let base = values.len();
+    values.reserve(meta.group_size);
+    let dec = book.symbol_decoder();
+    while values.len() - base < meta.group_size {
+        match dec.decode_symbol(&mut r) {
+            Some(s) => values.push(table.value(s)),
+            None => break,
+        }
+    }
+    let decoded = values.len() - base;
+    let data_end = r.bit_pos();
+
+    // Clipped tail: fill with the reconstructed zero centroid.
+    values.resize(base + meta.group_size, table.tail_fill());
+
+    // Outliers exist only when nothing was clipped.
+    let mut applied = 0usize;
+    if decoded == meta.group_size {
+        let n_out = (BLOCK_BITS - data_end) / OUTLIER_BITS;
+        for _ in 0..n_out {
+            let pos = r.read_bits(7).expect("outlier fits") as usize;
+            let f8 = F8E4M3::from_bits(r.read_bits(8).expect("outlier fits") as u8);
+            if pos < meta.group_size && !f8.is_nan() {
+                values[base + pos] =
+                    ecco_numerics::round_f16(meta.tensor_scale.expand(f8.to_f32()));
+                applied += 1;
+            }
+        }
+    }
+
+    Ok(DecodedGroupInfo {
+        decoded_symbols: decoded,
+        clipped_symbols: meta.group_size - decoded,
+        applied_outliers: applied,
+    })
+}
+
+/// The pre-fusion two-pass decoder, kept verbatim as the pinned
+/// differential baseline: decode all symbols into a buffer, then map
+/// them through the centroid×scale reconstruction in a second pass.
+/// [`decode_group_into`] must stay bit-identical to this on every input
+/// (`tests/fuzz_ingest.rs` and the bench harness both hold it to that).
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] for corrupted headers; the symbol stream
+/// itself is always decodable (clipping is handled by reconstruction).
+pub fn decode_group_two_pass(
     block: &Block64,
     meta: &TensorMetadata,
 ) -> Result<(Vec<f32>, DecodedGroupInfo), DecodeError> {
@@ -510,8 +658,7 @@ pub fn decode_group(
     let scale_mag = scale_signed.abs();
 
     // Decode up to group_size symbols; a clipped tail terminates decoding
-    // (prefix-freeness makes the truncation point unambiguous). The
-    // decode-table view is fetched once per block, not per symbol.
+    // (prefix-freeness makes the truncation point unambiguous).
     let dec = book.symbol_decoder();
     let mut symbols = Vec::with_capacity(meta.group_size);
     while symbols.len() < meta.group_size {
@@ -766,6 +913,195 @@ mod tests {
             if let Ok((vals, _)) = decode_group(&block, &meta) {
                 assert_eq!(vals.len(), 128)
             }
+        }
+    }
+
+    /// MSB-first bit surgery for corner-case crafting: overwrites `n`
+    /// bits of `bytes` starting at bit `pos` with the low `n` bits of
+    /// `val`.
+    fn set_bits(bytes: &mut [u8; 64], pos: usize, n: usize, val: u64) {
+        for i in 0..n {
+            let bit = (val >> (n - 1 - i)) & 1;
+            let p = pos + i;
+            let (byte, off) = (p / 8, 7 - (p % 8));
+            if bit == 1 {
+                bytes[byte] |= 1 << off;
+            } else {
+                bytes[byte] &= !(1 << off);
+            }
+        }
+    }
+
+    /// Fused and two-pass decodes of one block must agree exactly —
+    /// values bitwise (including signed zeros), info, and error kind.
+    fn assert_fused_matches_two_pass(block: &Block64, meta: &TensorMetadata) {
+        let two_pass = decode_group_two_pass(block, meta);
+        let mut fused_vals = vec![7.0f32; 3]; // nonzero base pins append
+        let fused = decode_group_into(block, meta, &mut fused_vals);
+        match (two_pass, fused) {
+            (Ok((vals, info)), Ok(finfo)) => {
+                assert_eq!(&fused_vals[..3], &[7.0f32; 3], "fused decode must append");
+                let got: Vec<u32> = fused_vals[3..].iter().map(|v| v.to_bits()).collect();
+                let want: Vec<u32> = vals.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(got, want, "fused values diverged bitwise");
+                assert_eq!(finfo, info, "fused info diverged");
+            }
+            (Err(a), Err(b)) => {
+                assert_eq!(a.kind, b.kind, "fused error kind diverged");
+                assert_eq!(
+                    fused_vals.len(),
+                    3,
+                    "fused decode must append nothing on error"
+                );
+            }
+            other => panic!("fused/two-pass disagreed on success: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fused_matches_two_pass_on_corner_blocks() {
+        let t = SynthSpec::for_kind(TensorKind::Weight, 8, 512)
+            .seeded(19)
+            .generate();
+        let meta = meta_for(&t);
+
+        // All-zero group: scale 0, every value table slot reconstructs 0.
+        let zeros = vec![0f32; 128];
+        let (zb, _) = encode_group(&zeros, &meta, PatternSelector::MseOptimal);
+        assert_fused_matches_two_pass(&zb, &meta);
+        let (out, _) = decode_group(&zb, &meta).unwrap();
+        assert!(out.iter().all(|&v| v == 0.0));
+
+        // Signed extreme (negative absmax → negative signed scale at the
+        // SCALE_SYMBOL slot) and ordinary healthy groups.
+        let mut g: Vec<f32> = (0..128).map(|i| (i as f32 - 64.0) * 0.01).collect();
+        g[9] = -9.5; // negative absmax
+        let (sb, _) = encode_group(&g, &meta, PatternSelector::MseOptimal);
+        assert_fused_matches_two_pass(&sb, &meta);
+        let (out, _) = decode_group(&sb, &meta).unwrap();
+        assert!(out[9] < 0.0, "signed absmax lost its sign: {}", out[9]);
+        for g in t.groups(128) {
+            let (b, _) = encode_group(g, &meta, PatternSelector::MseOptimal);
+            assert_fused_matches_two_pass(&b, &meta);
+        }
+
+        // Clipped tail: uniform 4-bit books force 128×4 = 512 bits > budget.
+        let mut clip_meta = meta.clone();
+        let uniform = ecco_entropy::Codebook::from_frequencies(&[1u64; 16], 4, 4).unwrap();
+        for row in &mut clip_meta.books {
+            for b in row {
+                *b = uniform.clone();
+            }
+        }
+        let (cb, cinfo) = encode_group(&g, &clip_meta, PatternSelector::MseOptimal);
+        assert!(cinfo.clipped_symbols > 0, "clipping must occur");
+        assert_fused_matches_two_pass(&cb, &clip_meta);
+    }
+
+    #[test]
+    fn fused_skips_nan_outliers_like_two_pass() {
+        // Plant outliers so padding space exists, then corrupt the first
+        // padded outlier's FP8 byte into NaN: both decoders must skip it
+        // and agree bit-for-bit.
+        let mut data = Vec::new();
+        for gidx in 0..64usize {
+            let mut g = vec![0.01f32; 128];
+            g[(gidx * 7) % 128] = 8.0;
+            g[(gidx * 13 + 1) % 128] = 6.0;
+            data.extend_from_slice(&g);
+        }
+        let t = Tensor::from_vec(64, 128, data);
+        let meta = meta_for(&t);
+        let mut g = vec![0.01f32; 128];
+        g[5] = 8.0;
+        g[77] = 6.0;
+        let (block, info) = encode_group(&g, &meta, PatternSelector::MseOptimal);
+        assert!(info.padded_outliers > 0, "need padding space: {info:?}");
+        let data_end = info.header_bits + info.data_bits;
+
+        let mut bytes = *block.as_bytes();
+        // First outlier: 7-bit position, then the 8-bit FP8 value → NaN.
+        set_bits(&mut bytes, data_end + 7, 8, 0x7F);
+        let nan_block = Block64::from_bytes(bytes);
+        assert_fused_matches_two_pass(&nan_block, &meta);
+        let (_, dinfo) = decode_group(&nan_block, &meta).unwrap();
+        assert_eq!(
+            dinfo.applied_outliers,
+            info.padded_outliers - 1,
+            "NaN outlier must be skipped"
+        );
+    }
+
+    #[test]
+    fn fused_skips_out_of_range_outlier_positions_like_two_pass() {
+        // The format fixes encoding groups at 128, so a 7-bit outlier
+        // position is always in range there — the `pos < group_size`
+        // guard protects decode-side mismatches (a revived snapshot
+        // claiming a smaller group). Craft that: uniform 4-bit books
+        // make every 4-bit window a valid code, so decoding the same
+        // block under `group_size = 64` stops cleanly after exactly
+        // 64 × 4 = 256 data bits, and everything after is the outlier
+        // region, which we rewrite deterministically.
+        let t = SynthSpec::for_kind(TensorKind::Weight, 8, 512)
+            .seeded(21)
+            .generate();
+        let mut meta = meta_for(&t);
+        let uniform = ecco_entropy::Codebook::from_frequencies(&[1u64; 16], 4, 4).unwrap();
+        for row in &mut meta.books {
+            for b in row {
+                *b = uniform.clone();
+            }
+        }
+        let g: Vec<f32> = (0..128).map(|i| (i as f32 - 64.0) * 0.01).collect();
+        let (block, _) = encode_group(&g, &meta, PatternSelector::MseOptimal);
+        let data_start = parse_block_header(&block, &meta).unwrap().data_start;
+
+        let mut small_meta = meta.clone();
+        small_meta.group_size = 64;
+        let data_end = data_start + 64 * 4;
+        let n_out = (BLOCK_BITS - data_end) / OUTLIER_BITS;
+        assert!(n_out >= 2, "need at least two outlier slots: {n_out}");
+        let mut bytes = *block.as_bytes();
+        // Slot 0: position 100 ≥ group_size 64 with a valid FP8 value —
+        // must be skipped. Slot 1: in-range position 10 — must apply.
+        // Remaining slots: NaN values — must be skipped.
+        set_bits(&mut bytes, data_end, 7, 100);
+        set_bits(&mut bytes, data_end + 7, 8, 0x30);
+        set_bits(&mut bytes, data_end + OUTLIER_BITS, 7, 10);
+        set_bits(&mut bytes, data_end + OUTLIER_BITS + 7, 8, 0x30);
+        for slot in 2..n_out {
+            set_bits(&mut bytes, data_end + slot * OUTLIER_BITS + 7, 8, 0x7F);
+        }
+        let crafted = Block64::from_bytes(bytes);
+        assert_fused_matches_two_pass(&crafted, &small_meta);
+        let (out, dinfo) = decode_group(&crafted, &small_meta).unwrap();
+        assert_eq!(out.len(), 64);
+        assert_eq!(
+            dinfo.applied_outliers, 1,
+            "only the in-range, non-NaN outlier may apply"
+        );
+        let want = ecco_numerics::round_f16(
+            small_meta
+                .tensor_scale
+                .expand(F8E4M3::from_bits(0x30).to_f32()),
+        );
+        assert_eq!(out[10].to_bits(), want.to_bits());
+    }
+
+    #[test]
+    fn fused_matches_two_pass_on_random_blocks() {
+        let t = SynthSpec::for_kind(TensorKind::Weight, 8, 512)
+            .seeded(20)
+            .generate();
+        let meta = meta_for(&t);
+        let mut state = 0xDEADBEEFu64;
+        for _ in 0..200 {
+            let mut bytes = [0u8; 64];
+            for b in &mut bytes {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                *b = (state >> 33) as u8;
+            }
+            assert_fused_matches_two_pass(&Block64::from_bytes(bytes), &meta);
         }
     }
 

@@ -15,7 +15,9 @@ use ecco_bits::Block64;
 use ecco_tensor::Tensor;
 use serde::{Deserialize, Serialize};
 
-use crate::block::{decode_group, encode_group_scratch, DecodeError, DecodeErrorKind};
+use crate::block::{
+    decode_group, decode_group_into, encode_group_scratch, DecodeError, DecodeErrorKind,
+};
 use crate::metadata::{PatternSelector, TensorMetadata};
 use crate::metrics::CodecStats;
 use crate::parallel::{BatchOutcome, RecoveryPolicy};
@@ -194,8 +196,7 @@ impl KvCodec {
             self.meta.group_size,
             || (),
             |(), ti, b, out| {
-                let (v, _) = decode_group(b, &metas[ti])?;
-                out.extend_from_slice(&v);
+                decode_group_into(b, &metas[ti], out)?;
                 Ok(())
             },
         )
@@ -269,8 +270,7 @@ impl KvCodec {
             policy,
             || (),
             |(), ti, b, out| {
-                let (v, _) = decode_group(b, &metas[ti])?;
-                out.extend_from_slice(&v);
+                decode_group_into(b, &metas[ti], out)?;
                 Ok(())
             },
         );
@@ -287,8 +287,7 @@ impl KvCodec {
         let meta = self.meta.with_scale(ct.tensor_scale());
         let mut data = Vec::with_capacity(ct.rows() * ct.cols());
         for b in ct.blocks() {
-            let (vals, _) = decode_group(b, &meta).expect("valid block");
-            data.extend_from_slice(&vals);
+            decode_group_into(b, &meta, &mut data).expect("valid block");
         }
         Tensor::from_vec(ct.rows(), ct.cols(), data)
     }

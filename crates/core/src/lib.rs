@@ -84,10 +84,10 @@ pub mod wire;
 pub use activation::{ActivationBlock, ActivationCodec};
 pub use adaptive::{AdaptiveBlock, AdaptiveCodec, AdaptivePolicy, AdaptiveStats, AdaptiveTensor};
 pub use block::{
-    decode_group, encode_group, encode_group_scratch, encode_group_unpadded,
-    encode_group_unpadded_scratch, encode_group_weighted_scratch, encode_group_with_pattern,
-    parse_block_header, validate_data_book, BlockHeader, DecodeError, DecodeErrorKind,
-    EncodedGroupInfo,
+    decode_group, decode_group_into, decode_group_two_pass, encode_group, encode_group_scratch,
+    encode_group_unpadded, encode_group_unpadded_scratch, encode_group_weighted_scratch,
+    encode_group_with_pattern, parse_block_header, validate_data_book, BlockHeader,
+    BlockValueTable, DecodeError, DecodeErrorKind, EncodedGroupInfo,
 };
 pub use group::{normalize_group, NormalizedGroup};
 pub use kv::KvCodec;
@@ -95,7 +95,7 @@ pub use metadata::{PatternSelector, TensorMetadata};
 pub use metrics::CodecStats;
 pub use parallel::{decode_groups_parallel, encode_groups_parallel, BatchOutcome, RecoveryPolicy};
 pub use pattern::{KmeansPattern, PatternBoundaries, NUM_CENTROIDS, SCALE_SYMBOL, SYMBOL_COUNT};
-pub use pool::{with_pool, Pool, PoolBuilder};
+pub use pool::{quick_from_env, with_pool, Pool, PoolBuilder};
 pub use select::{select_pattern_ref, GroupScratch};
 pub use weight::{CompressedTensor, WeightCodec};
 

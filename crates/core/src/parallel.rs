@@ -32,7 +32,8 @@ use ecco_tensor::Tensor;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use crate::block::{
-    decode_group, encode_group_scratch, DecodeError, DecodeErrorKind, EncodedGroupInfo,
+    decode_group, decode_group_into, encode_group_scratch, DecodeError, DecodeErrorKind,
+    EncodedGroupInfo,
 };
 use crate::metadata::{PatternSelector, TensorMetadata};
 use crate::metrics::CodecStats;
@@ -192,8 +193,7 @@ pub fn decode_groups_parallel(
         meta.group_size,
         || (),
         |(), b, out| {
-            let (v, _) = decode_group(b, meta)?;
-            out.extend_from_slice(&v);
+            decode_group_into(b, meta, out)?;
             Ok(())
         },
     )

@@ -23,7 +23,7 @@
 //! `pool_scaling` test.
 
 pub use ecco_pool::{
-    threads_from_env, with_pool, JobPanic, Pool, PoolBuilder, CHUNKS_PER_EXECUTOR,
+    quick_from_env, threads_from_env, with_pool, JobPanic, Pool, PoolBuilder, CHUNKS_PER_EXECUTOR,
 };
 
 /// Minimum groups/blocks per chunk for the codec pipelines. A chunk is

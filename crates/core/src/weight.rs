@@ -5,7 +5,8 @@ use ecco_tensor::Tensor;
 use serde::{Deserialize, Serialize};
 
 use crate::block::{
-    decode_group, encode_group_scratch, encode_group_weighted_scratch, DecodeError, DecodeErrorKind,
+    decode_group, decode_group_into, encode_group_scratch, encode_group_weighted_scratch,
+    DecodeError, DecodeErrorKind,
 };
 use crate::metadata::{PatternSelector, TensorMetadata};
 use crate::metrics::CodecStats;
@@ -345,8 +346,7 @@ impl WeightCodec {
             self.meta.group_size,
             || (),
             |(), ti, b, out| {
-                let (v, _) = decode_group(b, &metas[ti])?;
-                out.extend_from_slice(&v);
+                decode_group_into(b, &metas[ti], out)?;
                 Ok(())
             },
         );
@@ -420,8 +420,7 @@ impl WeightCodec {
             policy,
             || (),
             |(), ti, b, out| {
-                let (v, _) = decode_group(b, &metas[ti])?;
-                out.extend_from_slice(&v);
+                decode_group_into(b, &metas[ti], out)?;
                 Ok(())
             },
         );
@@ -458,8 +457,7 @@ impl WeightCodec {
         let meta = self.meta.with_scale(ct.tensor_scale);
         let mut data = Vec::with_capacity(ct.rows * ct.cols);
         for b in &ct.blocks {
-            let (vals, _) = decode_group(b, &meta).expect("valid block");
-            data.extend_from_slice(&vals);
+            decode_group_into(b, &meta, &mut data).expect("valid block");
         }
         Tensor::from_vec(ct.rows, ct.cols, data)
     }

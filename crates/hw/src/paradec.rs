@@ -52,7 +52,7 @@
 
 use ecco_bits::{Block64, BlockCursor, BLOCK_BITS};
 use ecco_core::block::DecodeError;
-use ecco_core::{TensorMetadata, SCALE_SYMBOL};
+use ecco_core::{BlockValueTable, TensorMetadata, SCALE_SYMBOL};
 use ecco_entropy::lut::{ChainEntry, SegmentLut, MAX_CHAIN, WINDOW_BITS as LUT_WINDOW_BITS};
 use ecco_entropy::Codebook;
 use ecco_numerics::F8E4M3;
@@ -195,19 +195,9 @@ impl<'a> ParallelDecoder<'a> {
         let entry_offset = start_bit % SEGMENT_BITS;
         let segments = NUM_SEGMENTS - first_seg;
 
-        // Pass 1: speculative sub-decoders, one segment batch at a time —
-        // all 8 offset windows in one `windows8` extraction and all 8
-        // chains in one gathered `entries8` probe, then 8 records of pure
-        // index math.
         let cursor = BlockCursor::new(block);
         let mut records = [[SegRecord::default(); SUB_DECODERS]; NUM_SEGMENTS];
-        for (seg, row) in records.iter_mut().enumerate().skip(first_seg) {
-            let windows = cursor.windows8(seg * SEGMENT_BITS, LUT_WINDOW_BITS);
-            let chains = self.lut.entries8(&windows);
-            for (offset, (rec, chain)) in row.iter_mut().zip(chains).enumerate() {
-                *rec = SegRecord::from_chain(chain, seg, offset);
-            }
-        }
+        self.fill_records(&cursor, first_seg, &mut records);
 
         // Pass 2+3: EOP chaining resolves the surviving record per
         // segment; gather its symbols as we go.
@@ -233,6 +223,109 @@ impl<'a> ParallelDecoder<'a> {
             end_bit,
             merge_stages: ceil_log2(segments),
             sub_decoder_ops: segments * SUB_DECODERS,
+        }
+    }
+
+    /// The fused decode-to-values walk: like
+    /// [`ParallelDecoder::decode_into`], but each resolved symbol is
+    /// gathered through a per-block [`BlockValueTable`] as the EOP walk
+    /// visits it, **appending** up to `max_symbols` reconstructed f32
+    /// values to `out` — no intermediate symbol buffer, no second
+    /// reconstruction pass. The caller computes the decoded count from
+    /// `out.len()` before/after.
+    ///
+    /// Unlike the symbol walk, the software hot path here probes the LUT
+    /// **lazily**: the EOP chain consumes exactly one entry offset per
+    /// segment, and each [`SegRecord`] depends only on its own 15-bit
+    /// window, so walking the live chain probes ~64 windows instead of
+    /// materializing all 64×8 speculative records the silicon would (a
+    /// parallelism that is free in hardware and pure waste on one core).
+    /// The chain — and every emitted value and the end bit — is
+    /// bit-identical to the speculative fill; the returned
+    /// [`DecodeStats`] still report the modeled hardware cost
+    /// (`segments × 8` sub-decoder ops), matching [`decode_into`].
+    ///
+    /// [`decode_into`]: ParallelDecoder::decode_into
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start_bit` is outside the block, or if a decoded
+    /// symbol exceeds the table (impossible for a book that passed
+    /// [`ecco_core::validate_data_book`]).
+    pub fn decode_values_into(
+        &self,
+        block: &Block64,
+        start_bit: usize,
+        max_symbols: usize,
+        table: &BlockValueTable,
+        out: &mut Vec<f32>,
+    ) -> DecodeStats {
+        assert!(start_bit < BLOCK_BITS, "start bit outside block");
+        let first_seg = start_bit / SEGMENT_BITS;
+        let entry_offset = start_bit % SEGMENT_BITS;
+        let segments = NUM_SEGMENTS - first_seg;
+
+        // The block-at-a-time window fill stays: one dispatched
+        // `windows_all` call hands every sub-decoder window to the walk.
+        let cursor = BlockCursor::new(block);
+        let mut windows = [[0u64; SUB_DECODERS]; NUM_SEGMENTS];
+        cursor.windows_all(LUT_WINDOW_BITS, &mut windows);
+
+        // Pass 2+3, lazily: resolve only the record the chain lands on.
+        let base = out.len();
+        out.reserve(max_symbols);
+        let mut end_bit = start_bit;
+        let mut offset = entry_offset;
+        'walk: for (seg, wins) in windows.iter().enumerate().skip(first_seg) {
+            let rec = SegRecord::from_chain(self.lut.entry(wins[offset]), seg, offset);
+            let seg_base = seg * SEGMENT_BITS + offset;
+            for i in 0..rec.count as usize {
+                if out.len() - base == max_symbols {
+                    break 'walk;
+                }
+                out.push(table.value(rec.syms[i]));
+                end_bit = seg_base + rec.ends[i] as usize;
+            }
+            if rec.terminated {
+                break;
+            }
+            offset = rec.eop as usize;
+        }
+
+        DecodeStats {
+            end_bit,
+            merge_stages: ceil_log2(segments),
+            sub_decoder_ops: segments * SUB_DECODERS,
+        }
+    }
+
+    /// Pass 1 of the symbol walk (the fused walk resolves records
+    /// lazily along the chain instead): speculative sub-decoders with a
+    /// **block-at-a-time** window fill — all 64 segments' 8 offset
+    /// windows come from one
+    /// [`BlockCursor::windows_all`] call (one `#[target_feature]` shim
+    /// crossing per block instead of one per segment, see
+    /// `BENCH_codec.json` `window_extract`), then one gathered
+    /// [`SegmentLut::entries8`] probe per live segment and 8 records of
+    /// pure index math.
+    fn fill_records(
+        &self,
+        cursor: &BlockCursor,
+        first_seg: usize,
+        records: &mut [[SegRecord; SUB_DECODERS]; NUM_SEGMENTS],
+    ) {
+        let mut windows = [[0u64; SUB_DECODERS]; NUM_SEGMENTS];
+        cursor.windows_all(LUT_WINDOW_BITS, &mut windows);
+        for (seg, (row, wins)) in records
+            .iter_mut()
+            .zip(windows.iter())
+            .enumerate()
+            .skip(first_seg)
+        {
+            let chains = self.lut.entries8(wins);
+            for (offset, (rec, chain)) in row.iter_mut().zip(chains).enumerate() {
+                *rec = SegRecord::from_chain(chain, seg, offset);
+            }
         }
     }
 
@@ -282,6 +375,10 @@ pub struct DecodeScratch {
 /// the functional twin of [`ecco_core::decode_group`], used to prove the
 /// hardware algorithm equivalent to the reference decoder.
 ///
+/// Runs the pinned two-pass path because its result carries the decoded
+/// symbol stream; value-only callers ride the fused
+/// [`decode_block_parallel_into`].
+///
 /// # Errors
 ///
 /// Returns the same [`DecodeError`]s as the reference decoder.
@@ -291,7 +388,7 @@ pub fn decode_block_parallel(
 ) -> Result<(Vec<f32>, ParallelDecodeResult), DecodeError> {
     let mut scratch = DecodeScratch::default();
     let mut values = Vec::with_capacity(meta.group_size);
-    let stats = decode_block_parallel_into(block, meta, &mut scratch, &mut values)?;
+    let stats = decode_block_parallel_two_pass(block, meta, &mut scratch, &mut values)?;
     Ok((
         values,
         ParallelDecodeResult {
@@ -303,15 +400,70 @@ pub fn decode_block_parallel(
     ))
 }
 
-/// Allocation-free variant of [`decode_block_parallel`]: symbols land in
-/// `scratch`, reconstructed values in `values` (cleared, then filled to
-/// `meta.group_size`). Reusing both across calls keeps a tensor-sized
-/// decode loop at zero steady-state allocations.
+/// The fused full-block decompression: header parse, then one
+/// decode-to-values walk ([`ParallelDecoder::decode_values_into`])
+/// **appending** `meta.group_size` reconstructed values to `values` —
+/// no symbol scratch, no second mapping pass. On error nothing is
+/// appended. Bit-identical to the pinned
+/// [`decode_block_parallel_two_pass`] on every input (held differentially
+/// by `tests/fuzz_ingest.rs` on both dispatch arms).
 ///
 /// # Errors
 ///
 /// Returns the same [`DecodeError`]s as the reference decoder.
 pub fn decode_block_parallel_into(
+    block: &Block64,
+    meta: &TensorMetadata,
+    values: &mut Vec<f32>,
+) -> Result<DecodeStats, DecodeError> {
+    let header = ecco_core::block::parse_block_header(block, meta)?;
+    let sf = F8E4M3::from_bits(header.sf_bits);
+    let scale_signed = ecco_numerics::round_f16(meta.tensor_scale.expand(sf.to_f32()));
+
+    // Same revival predicate as the sequential decoder: a corrupt revived
+    // book surfaces a typed error here instead of panicking in the
+    // SegmentLut build (lengths outside 2..=8) or indexing past the
+    // centroid table (alphabet wider than the symbol space).
+    let book = &meta.books[header.kp][header.book_id];
+    ecco_core::validate_data_book(book)?;
+    let table = BlockValueTable::new(&meta.patterns[header.kp], scale_signed);
+    let decoder = ParallelDecoder::new(book);
+
+    let base = values.len();
+    let stats =
+        decoder.decode_values_into(block, header.data_start, meta.group_size, &table, values);
+    let decoded = values.len() - base;
+
+    // Clipped tail: the reconstructed zero centroid (data mapper's 128
+    // parallel lanes in hardware, here one table gather per value).
+    values.resize(base + meta.group_size, table.tail_fill());
+
+    if decoded == meta.group_size {
+        let n_out = (BLOCK_BITS - stats.end_bit) / 15;
+        let mut or = block.reader();
+        or.seek(stats.end_bit);
+        for _ in 0..n_out {
+            let pos = or.read_bits(7).expect("outlier fits") as usize;
+            let f8 = F8E4M3::from_bits(or.read_bits(8).expect("outlier fits") as u8);
+            if pos < meta.group_size && !f8.is_nan() {
+                values[base + pos] =
+                    ecco_numerics::round_f16(meta.tensor_scale.expand(f8.to_f32()));
+            }
+        }
+    }
+    Ok(stats)
+}
+
+/// The pre-fusion two-pass block decompression, kept as the pinned
+/// differential baseline: symbols land in `scratch`, reconstructed
+/// values in `values` (cleared, then filled to `meta.group_size`).
+/// [`decode_block_parallel_into`] must stay bit-identical to this on
+/// every input and both dispatch arms.
+///
+/// # Errors
+///
+/// Returns the same [`DecodeError`]s as the reference decoder.
+pub fn decode_block_parallel_two_pass(
     block: &Block64,
     meta: &TensorMetadata,
     scratch: &mut DecodeScratch,
@@ -324,10 +476,6 @@ pub fn decode_block_parallel_into(
     let scale_mag = scale_signed.abs();
     let pattern = &meta.patterns[header.kp];
 
-    // Same revival predicate as the sequential decoder: a corrupt revived
-    // book surfaces a typed error here instead of panicking in the
-    // SegmentLut build (lengths outside 2..=8) or indexing past the
-    // centroid table (alphabet wider than the symbol space).
     let book = &meta.books[header.kp][header.book_id];
     ecco_core::validate_data_book(book)?;
     let decoder = ParallelDecoder::new(book);
@@ -338,7 +486,8 @@ pub fn decode_block_parallel_into(
         &mut scratch.symbols,
     );
 
-    // Data mapper (128 parallel lanes in hardware).
+    // Data mapper (128 parallel lanes in hardware), as a second pass
+    // over the decoded symbol buffer.
     let zero_centroid = pattern.centroids()[pattern.zero_symbol() as usize];
     values.extend(scratch.symbols.iter().map(|&s| {
         if s == SCALE_SYMBOL {
@@ -369,12 +518,12 @@ pub fn decode_block_parallel_into(
 /// Decodes a whole tensor's worth of blocks through the hardware parallel
 /// decoder model across a thread pool — the rebgzf-style multi-block
 /// pipeline, hardware-model flavour. Runs on the shared sharded driver
-/// ([`ecco_core::parallel::decode_blocks_parallel_with`]), so the batched
-/// `windows8` record fill is what every worker's run executes; each
-/// worker reuses one [`DecodeScratch`], so the steady state allocates
-/// nothing per block. Output is bit-identical to decoding each block with
-/// [`decode_block_parallel`] in order (and hence to
-/// `ecco_core::decode_groups_parallel`).
+/// ([`ecco_core::parallel::decode_blocks_parallel_with`]); every worker
+/// runs the fused [`decode_block_parallel_into`] (block-at-a-time window
+/// fill, decode-to-values walk) appending straight into its chunk
+/// buffer — no symbol scratch, no per-block value copy. Output is
+/// bit-identical to decoding each block with [`decode_block_parallel`]
+/// in order (and hence to `ecco_core::decode_groups_parallel`).
 ///
 /// # Errors
 ///
@@ -386,15 +535,9 @@ pub fn decode_blocks_parallel(
     ecco_core::parallel::decode_blocks_parallel_with(
         blocks,
         meta.group_size,
-        || {
-            (
-                DecodeScratch::default(),
-                Vec::with_capacity(meta.group_size),
-            )
-        },
-        |(scratch, values), b, out| {
-            decode_block_parallel_into(b, meta, scratch, values)?;
-            out.extend_from_slice(values);
+        || (),
+        |(), b, out| {
+            decode_block_parallel_into(b, meta, out)?;
             Ok(())
         },
     )
@@ -428,10 +571,9 @@ pub fn decode_tensors_batch(
     ecco_core::parallel::decode_tensors_batch_with(
         &blocks,
         group_size,
-        || (DecodeScratch::default(), Vec::with_capacity(group_size)),
-        |(scratch, values), ti, b, out| {
-            decode_block_parallel_into(b, batch[ti].1, scratch, values)?;
-            out.extend_from_slice(values);
+        || (),
+        |(), ti, b, out| {
+            decode_block_parallel_into(b, batch[ti].1, out)?;
             Ok(())
         },
     )
@@ -459,10 +601,9 @@ pub fn decode_tensors_batch_report(
         &blocks,
         group_size,
         policy,
-        || (DecodeScratch::default(), Vec::with_capacity(group_size)),
-        |(scratch, values), ti, b, out| {
-            decode_block_parallel_into(b, batch[ti].1, scratch, values)?;
-            out.extend_from_slice(values);
+        || (),
+        |(), ti, b, out| {
+            decode_block_parallel_into(b, batch[ti].1, out)?;
             Ok(())
         },
     )
@@ -770,12 +911,17 @@ mod tests {
             .generate();
         let meta = meta_for(&t);
         let mut scratch = DecodeScratch::default();
-        let mut values = Vec::new();
+        let mut two_pass = Vec::new();
+        let mut fused = Vec::new();
         for g in t.groups(128) {
             let (block, _) = encode_group(g, &meta, PatternSelector::MseOptimal);
             let (seq, _) = ecco_core::decode_group(&block, &meta).unwrap();
-            decode_block_parallel_into(&block, &meta, &mut scratch, &mut values).unwrap();
-            assert_eq!(seq, values);
+            decode_block_parallel_two_pass(&block, &meta, &mut scratch, &mut two_pass).unwrap();
+            assert_eq!(seq, two_pass);
+            // The fused walk appends; it must agree block for block.
+            let before = fused.len();
+            decode_block_parallel_into(&block, &meta, &mut fused).unwrap();
+            assert_eq!(&seq[..], &fused[before..]);
         }
     }
 
@@ -844,6 +990,16 @@ mod tests {
                 prop_assert_eq!(&seq, &par_s, "forced-scalar arm diverged from sequential");
                 prop_assert_eq!(&pres_s.symbols, &oracle.symbols, "forced-scalar arm diverged from seed port");
                 prop_assert_eq!(pres_s.end_bit, oracle.end_bit);
+                // Fused decode-to-values walk, both arms: bit-identical
+                // to the two-pass output above.
+                for tier in [host_tier, ecco_bits::WindowDispatch::Portable] {
+                    ecco_bits::set_window_dispatch(tier);
+                    let mut fused = Vec::new();
+                    let fres = decode_block_parallel_into(&block, &meta, &mut fused);
+                    ecco_bits::set_window_dispatch(host_tier);
+                    prop_assert_eq!(fres.unwrap().end_bit, oracle.end_bit);
+                    prop_assert_eq!(&seq, &fused, "fused arm diverged from two-pass");
+                }
             }
 
             // Pool layer: the sharded pipeline and the batched
@@ -906,6 +1062,47 @@ mod tests {
             prop_assert_eq!(seed.end_bit, want_end);
             prop_assert_eq!(seed.merge_stages, got.merge_stages);
             prop_assert_eq!(seed.sub_decoder_ops, got.sub_decoder_ops);
+        }
+
+        /// The fused decode-to-values walk against the symbol walk plus a
+        /// manual table gather, on fuzzed books × raw blocks × both
+        /// dispatch arms — including garbage windows that terminate
+        /// early, a nonzero append base, and a fuzzed block scale.
+        #[test]
+        fn fused_walk_matches_symbol_walk_on_fuzzed_books(
+            freqs in prop::collection::vec(0u64..5000, 2..=16),
+            bytes in prop::collection::vec(any::<u8>(), 64),
+            start in 0usize..64,
+            max in 1usize..160,
+            scale in -4.0f32..4.0,
+        ) {
+            let book = Codebook::from_frequencies(&freqs, 2, 8).unwrap();
+            let mut raw = [0u8; 64];
+            raw.copy_from_slice(&bytes);
+            let block = Block64::from_bytes(raw);
+            // A calibrated pattern supplies a real centroid table.
+            let t = SynthSpec::for_kind(TensorKind::Weight, 1, 128).seeded(7).generate();
+            let meta = meta_for(&t);
+            let table = ecco_core::BlockValueTable::new(&meta.patterns[0], scale);
+
+            let decoder = ParallelDecoder::new(&book);
+            let mut symbols = Vec::new();
+            let sym_stats = decoder.decode_into(&block, start, max, &mut symbols);
+            let want: Vec<f32> = symbols.iter().map(|&s| table.value(s)).collect();
+
+            let host_tier = ecco_bits::window_dispatch();
+            for tier in [host_tier, ecco_bits::WindowDispatch::Portable] {
+                ecco_bits::set_window_dispatch(tier);
+                // Nonzero base pins the append (not clear) contract.
+                let mut fused = vec![9.0f32; 3];
+                let stats = decoder.decode_values_into(&block, start, max, &table, &mut fused);
+                ecco_bits::set_window_dispatch(host_tier);
+                prop_assert_eq!(&fused[..3], &[9.0f32; 3][..], "fused walk must append");
+                prop_assert_eq!(&fused[3..], &want[..], "fused walk diverged on {:?}", tier);
+                prop_assert_eq!(stats.end_bit, sym_stats.end_bit);
+                prop_assert_eq!(stats.merge_stages, sym_stats.merge_stages);
+                prop_assert_eq!(stats.sub_decoder_ops, sym_stats.sub_decoder_ops);
+            }
         }
 
         /// Valid encoded streams (not just garbage): encode random symbols

@@ -350,6 +350,23 @@ pub fn threads_from_env() -> usize {
         .unwrap_or(1)
 }
 
+/// Quick-mode flag from the environment: `ECCO_QUICK` shrinks bench
+/// traces and replay loops to smoke-test size. The flag is **parsed**,
+/// not just probed — `ECCO_QUICK=0`, an empty value, or an unset
+/// variable all mean a full run, anything else (after trimming) enables
+/// quick mode. Every bench and example reading `ECCO_QUICK` goes through
+/// this one parser, so `ECCO_QUICK=0 cargo bench …` runs the full trace
+/// instead of silently shrinking it.
+pub fn quick_from_env() -> bool {
+    match std::env::var("ECCO_QUICK") {
+        Ok(v) => {
+            let v = v.trim();
+            !v.is_empty() && v != "0"
+        }
+        Err(_) => false,
+    }
+}
+
 static GLOBAL: OnceLock<Pool> = OnceLock::new();
 
 std::thread_local! {
@@ -693,6 +710,34 @@ mod tests {
         }
         if let Some(v) = prev_rayon {
             std::env::set_var("RAYON_NUM_THREADS", v);
+        }
+    }
+
+    #[test]
+    fn quick_mode_parses_the_value() {
+        // `ECCO_QUICK=0` (and "" and unset) must mean a FULL run — the
+        // old `is_ok()` probe treated any set value as quick mode and
+        // silently shrank `ECCO_QUICK=0` traces. Previous value restored
+        // for the same reason as `env_sizing_parses`.
+        let prev = std::env::var("ECCO_QUICK").ok();
+        std::env::set_var("ECCO_QUICK", "1");
+        assert!(quick_from_env());
+        std::env::set_var("ECCO_QUICK", "yes");
+        assert!(quick_from_env());
+        std::env::set_var("ECCO_QUICK", " 1\n");
+        assert!(quick_from_env(), "padded truthy values must parse");
+        std::env::set_var("ECCO_QUICK", "0");
+        assert!(!quick_from_env(), "ECCO_QUICK=0 must run the full trace");
+        std::env::set_var("ECCO_QUICK", " 0 ");
+        assert!(!quick_from_env(), "padded zero must run the full trace");
+        std::env::set_var("ECCO_QUICK", "");
+        assert!(!quick_from_env(), "empty value must run the full trace");
+        std::env::set_var("ECCO_QUICK", "  \t ");
+        assert!(!quick_from_env(), "whitespace-only must run the full trace");
+        std::env::remove_var("ECCO_QUICK");
+        assert!(!quick_from_env(), "unset must run the full trace");
+        if let Some(v) = prev {
+            std::env::set_var("ECCO_QUICK", v);
         }
     }
 

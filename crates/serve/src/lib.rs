@@ -379,9 +379,137 @@ pub struct PagedKvStore {
     sessions: HashMap<u64, Session>,
     next_session: u64,
     /// Hot page ids in clock order.
-    clock: Vec<usize>,
-    hand: usize,
+    clock: ClockList,
     metrics: ServeMetrics,
+}
+
+/// Sentinel for "no page" in [`ClockList`] links.
+const NIL: usize = usize::MAX;
+
+/// The hot tier's clock ring as an intrusive doubly-linked list over
+/// page ids: O(1) insert, O(1) removal of **any** page, and an O(1)
+/// hand step — session close and eviction no longer pay a linear
+/// `position` + `Vec::remove` scan per page (O(n·m) on the close of a
+/// large session).
+///
+/// Link arrays are indexed by page id, mirroring `PagedKvStore::pages`
+/// (page ids are dense and recycled). Order semantics are exactly the
+/// former `Vec<usize>` clock: insertion order, a hand that wraps past
+/// the tail to the head, removal at the hand advancing it to the
+/// successor — so victim selection sequences are bit-for-bit what the
+/// scan-based clock produced (the eviction-ledger tests pin this).
+#[derive(Debug)]
+struct ClockList {
+    /// Predecessor page id, `NIL` at the head.
+    prev: Vec<usize>,
+    /// Successor page id, `NIL` at the tail.
+    next: Vec<usize>,
+    /// Whether the page is currently linked into the ring.
+    linked: Vec<bool>,
+    head: usize,
+    tail: usize,
+    /// The sweep cursor, as a page id (`NIL` = wrap to head next step).
+    hand: usize,
+    len: usize,
+}
+
+impl ClockList {
+    fn new() -> ClockList {
+        ClockList {
+            prev: Vec::new(),
+            next: Vec::new(),
+            linked: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            hand: NIL,
+            len: 0,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn contains(&self, pid: usize) -> bool {
+        pid < self.linked.len() && self.linked[pid]
+    }
+
+    /// Appends `pid` at the tail (newest clock position), growing the
+    /// link arrays to cover the id.
+    fn push_back(&mut self, pid: usize) {
+        if pid >= self.linked.len() {
+            self.prev.resize(pid + 1, NIL);
+            self.next.resize(pid + 1, NIL);
+            self.linked.resize(pid + 1, false);
+        }
+        debug_assert!(!self.linked[pid], "page already on the clock");
+        self.prev[pid] = self.tail;
+        self.next[pid] = NIL;
+        if self.tail != NIL {
+            self.next[self.tail] = pid;
+        } else {
+            self.head = pid;
+        }
+        self.tail = pid;
+        self.linked[pid] = true;
+        self.len += 1;
+    }
+
+    /// Unlinks `pid` in O(1). A hand resting on the removed page moves
+    /// to its successor (`NIL` wraps to the head on the next
+    /// [`ClockList::hand_page`]) — the same cursor behaviour as
+    /// `Vec::remove` at / before / after the hand index.
+    fn unlink(&mut self, pid: usize) {
+        debug_assert!(self.contains(pid), "page not on the clock");
+        if self.hand == pid {
+            self.hand = self.next[pid];
+        }
+        let (p, n) = (self.prev[pid], self.next[pid]);
+        if p != NIL {
+            self.next[p] = n;
+        } else {
+            self.head = n;
+        }
+        if n != NIL {
+            self.prev[n] = p;
+        } else {
+            self.tail = p;
+        }
+        self.prev[pid] = NIL;
+        self.next[pid] = NIL;
+        self.linked[pid] = false;
+        self.len -= 1;
+    }
+
+    /// The page under the hand, wrapping to the head; `NIL` only when
+    /// the ring is empty.
+    fn hand_page(&mut self) -> usize {
+        if self.hand == NIL {
+            self.hand = self.head;
+        }
+        self.hand
+    }
+
+    /// Second-chance step: move the hand to the successor.
+    fn advance_hand(&mut self) {
+        if self.hand != NIL {
+            self.hand = self.next[self.hand];
+        }
+    }
+
+    /// Rewinds the hand to the head (next sweep starts at the oldest
+    /// survivor).
+    fn reset_hand(&mut self) {
+        self.hand = NIL;
+    }
+
+    /// Page ids in clock order, head to tail.
+    fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        std::iter::successors((self.head != NIL).then_some(self.head), move |&p| {
+            let n = self.next[p];
+            (n != NIL).then_some(n)
+        })
+    }
 }
 
 impl PagedKvStore {
@@ -410,8 +538,7 @@ impl PagedKvStore {
             free_pages: Vec::new(),
             sessions: HashMap::new(),
             next_session: 0,
-            clock: Vec::new(),
-            hand: 0,
+            clock: ClockList::new(),
             metrics: ServeMetrics::default(),
         }
     }
@@ -462,13 +589,10 @@ impl PagedKvStore {
             .remove(&sid.0)
             .ok_or(ServeError::UnknownSession(sid))?;
         for pid in session.pages {
-            if matches!(self.pages[pid].residency, Residency::Hot { .. }) {
-                if let Some(pos) = self.clock.iter().position(|&p| p == pid) {
-                    self.clock.remove(pos);
-                    if pos < self.hand {
-                        self.hand -= 1;
-                    }
-                }
+            if matches!(self.pages[pid].residency, Residency::Hot { .. })
+                && self.clock.contains(pid)
+            {
+                self.clock.unlink(pid);
             }
             self.pages[pid].residency = Residency::Vacant;
             self.pages[pid].tokens = 0;
@@ -819,13 +943,8 @@ impl PagedKvStore {
         ct: CompressedTensor,
     ) -> Result<(), ServeError> {
         let pid = self.page_id(sid, page)?;
-        if let Residency::Hot { .. } = self.pages[pid].residency {
-            if let Some(pos) = self.clock.iter().position(|&p| p == pid) {
-                self.clock.remove(pos);
-                if pos < self.hand {
-                    self.hand -= 1;
-                }
-            }
+        if matches!(self.pages[pid].residency, Residency::Hot { .. }) && self.clock.contains(pid) {
+            self.clock.unlink(pid);
         }
         self.pages[pid].residency = Residency::Cold(ct);
         Ok(())
@@ -839,11 +958,12 @@ impl PagedKvStore {
         let victims: Vec<usize> = self
             .clock
             .iter()
-            .copied()
             .filter(|&pid| self.pages[pid].tokens == self.cfg.page_tokens)
             .collect();
-        self.clock.retain(|pid| !victims.contains(pid));
-        self.hand = 0;
+        for &pid in &victims {
+            self.clock.unlink(pid);
+        }
+        self.clock.reset_hand();
         self.evict_pages(victims);
     }
 
@@ -949,7 +1069,7 @@ impl PagedKvStore {
             cold: None,
             dirty: true,
         };
-        self.clock.push(pid);
+        self.clock.push_back(pid);
         self.sessions
             .get_mut(&sid.0)
             .expect("session checked")
@@ -971,7 +1091,7 @@ impl PagedKvStore {
             dirty: false,
         };
         self.pages[pid].referenced = true;
-        self.clock.push(pid);
+        self.clock.push_back(pid);
     }
 
     /// Clock sweep: picks victims beyond capacity (second chance via
@@ -986,15 +1106,14 @@ impl PagedKvStore {
         let mut victims = Vec::with_capacity(excess);
         for _ in 0..excess {
             loop {
-                if self.hand >= self.clock.len() {
-                    self.hand = 0;
-                }
-                let pid = self.clock[self.hand];
+                let pid = self.clock.hand_page();
                 if self.pages[pid].referenced {
                     self.pages[pid].referenced = false;
-                    self.hand += 1;
+                    self.clock.advance_hand();
                 } else {
-                    self.clock.remove(self.hand);
+                    // Unlinking at the hand advances it to the successor,
+                    // exactly like `Vec::remove` at the hand index.
+                    self.clock.unlink(pid);
                     victims.push(pid);
                     break;
                 }
@@ -1325,6 +1444,190 @@ mod tests {
             st.append(SessionId(999), &kv_rows(1, 20)),
             Err(ServeError::UnknownSession(_))
         ));
+    }
+
+    /// The old clock representation: a `Vec` of page ids plus an index
+    /// hand, with `position` + `remove` scans. Kept here as the reference
+    /// model pinning [`ClockList`]'s order and cursor semantics.
+    struct VecClock {
+        clock: Vec<usize>,
+        hand: usize,
+    }
+
+    impl VecClock {
+        fn remove(&mut self, pid: usize) {
+            if let Some(pos) = self.clock.iter().position(|&p| p == pid) {
+                self.clock.remove(pos);
+                if pos < self.hand {
+                    self.hand -= 1;
+                }
+            }
+        }
+
+        fn sweep(&mut self, referenced: &mut [bool]) -> usize {
+            loop {
+                if self.hand >= self.clock.len() {
+                    self.hand = 0;
+                }
+                let pid = self.clock[self.hand];
+                if referenced[pid] {
+                    referenced[pid] = false;
+                    self.hand += 1;
+                } else {
+                    self.clock.remove(self.hand);
+                    return pid;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn clock_list_matches_the_scan_based_reference() {
+        let mut lcg = 0x5EEDu64;
+        let mut rand = move |n: u64| {
+            lcg = lcg
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (lcg >> 33) % n
+        };
+        const PIDS: usize = 64;
+        let mut list = ClockList::new();
+        let mut vec = VecClock {
+            clock: Vec::new(),
+            hand: 0,
+        };
+        let mut referenced = [false; PIDS];
+        let mut free: Vec<usize> = (0..PIDS).rev().collect();
+        for step in 0..20_000 {
+            match rand(10) {
+                // Push a recycled page id (referenced, like a fresh page).
+                0..=4 => {
+                    if let Some(pid) = free.pop() {
+                        referenced[pid] = true;
+                        list.push_back(pid);
+                        vec.clock.push(pid);
+                    }
+                }
+                // Remove an arbitrary linked page (session close).
+                5..=6 => {
+                    if !vec.clock.is_empty() {
+                        let pid = vec.clock[rand(vec.clock.len() as u64) as usize];
+                        assert!(list.contains(pid));
+                        list.unlink(pid);
+                        vec.remove(pid);
+                        free.push(pid);
+                    }
+                }
+                // Second-chance sweep for one victim (eviction).
+                7..=8 => {
+                    if !vec.clock.is_empty() {
+                        let mut ref_twin = referenced;
+                        let want = vec.sweep(&mut ref_twin);
+                        let got = loop {
+                            let pid = list.hand_page();
+                            if referenced[pid] {
+                                referenced[pid] = false;
+                                list.advance_hand();
+                            } else {
+                                list.unlink(pid);
+                                break pid;
+                            }
+                        };
+                        assert_eq!(got, want, "victim diverged at step {step}");
+                        assert_eq!(referenced, ref_twin);
+                        free.push(got);
+                    }
+                }
+                // Bulk removal + hand rewind (flush_full_pages).
+                _ => {
+                    let victims: Vec<usize> = vec
+                        .clock
+                        .iter()
+                        .copied()
+                        .filter(|&p| p % 3 == step % 3)
+                        .collect();
+                    vec.clock.retain(|p| !victims.contains(p));
+                    vec.hand = 0;
+                    for &pid in &victims {
+                        list.unlink(pid);
+                        free.push(pid);
+                    }
+                    list.reset_hand();
+                }
+            }
+            assert_eq!(list.len(), vec.clock.len());
+            assert_eq!(
+                list.iter().collect::<Vec<_>>(),
+                vec.clock,
+                "clock order diverged at step {step}"
+            );
+            if !vec.clock.is_empty() {
+                assert_eq!(list.hand_page(), vec.clock[vec.hand % vec.clock.len()]);
+            }
+        }
+    }
+
+    #[test]
+    fn clock_bookkeeping_survives_a_large_trace() {
+        let mut st = store(6);
+        let mut lcg = 0xC10Cu64;
+        let mut rand = move |n: u64| {
+            lcg = lcg
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (lcg >> 33) % n
+        };
+        let check = |st: &PagedKvStore| {
+            let on_clock: Vec<usize> = st.clock.iter().collect();
+            let hot: Vec<usize> = (0..st.pages.len())
+                .filter(|&p| matches!(st.pages[p].residency, Residency::Hot { .. }))
+                .collect();
+            assert_eq!(st.clock.len(), on_clock.len());
+            let mut sorted = on_clock.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), on_clock.len(), "duplicate page on the clock");
+            assert_eq!(sorted, hot, "clock and hot residency disagree");
+        };
+        let mut open: Vec<SessionId> = Vec::new();
+        for step in 0..400 {
+            match rand(10) {
+                0..=2 => open.push(st.open_session()),
+                3..=6 => {
+                    if !open.is_empty() {
+                        let sid = open[rand(open.len() as u64) as usize];
+                        let tokens = 8 * (1 + rand(4) as usize);
+                        st.append(sid, &kv_rows(tokens, step)).unwrap();
+                    }
+                }
+                7 => {
+                    if !open.is_empty() {
+                        let sid = open.swap_remove(rand(open.len() as u64) as usize);
+                        st.close_session(sid).unwrap();
+                    }
+                }
+                8 => {
+                    if !open.is_empty() {
+                        let sid = open[rand(open.len() as u64) as usize];
+                        if st.session_pages(sid).unwrap() > 0 {
+                            let mut out = Vec::new();
+                            st.read_session_into(sid, &mut out).unwrap();
+                        }
+                    }
+                }
+                _ => st.flush_full_pages(),
+            }
+            check(&st);
+            assert!(
+                st.hot_pages() <= st.config().hot_capacity_pages + 1,
+                "hot tier overran capacity at step {step}"
+            );
+        }
+        assert!(st.metrics().evictions > 0, "trace never hit the clock");
+        for sid in open {
+            st.close_session(sid).unwrap();
+        }
+        check(&st);
     }
 
     #[test]

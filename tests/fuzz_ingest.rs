@@ -24,7 +24,9 @@ use std::collections::BTreeSet;
 use std::sync::OnceLock;
 
 use ecco::bits::{Block64, BLOCK_BYTES};
-use ecco::codec::block::{decode_group, parse_block_header, DecodeError, DecodeErrorKind};
+use ecco::codec::block::{
+    decode_group, decode_group_two_pass, parse_block_header, DecodeError, DecodeErrorKind,
+};
 use ecco::codec::parallel::RecoveryPolicy;
 use ecco::codec::wire::{
     decode_metadata, decode_tensor, encode_metadata, encode_tensor, METADATA_MAGIC,
@@ -135,11 +137,39 @@ fn decode_seq(blocks: &[Block64], meta: &TensorMetadata) -> Vec<Result<Vec<f32>,
 /// Asserts the hardware parallel decoder agrees with the sequential
 /// reference on `blocks` — same values when healthy, same error kind
 /// located at the first failing block otherwise — on pools {1, 4}.
+///
+/// The sequential reference is the *fused* decode-to-values walk
+/// ([`decode_group`]); it is first pinned bit-for-bit against the
+/// retired two-pass decoder ([`decode_group_two_pass`]) on every block,
+/// healthy or corrupt, so the whole mutated corpus exercises
+/// fused == two-pass (the walk itself is pinned against `seed_port` by
+/// the differential proptests in `ecco-hw::paradec`).
 fn assert_arms_agree(
     blocks: &[Block64],
     meta: &TensorMetadata,
 ) -> Result<(), proptest::test_runner::TestCaseError> {
     let seq = decode_seq(blocks, meta);
+    for (i, (fused, b)) in seq.iter().zip(blocks).enumerate() {
+        match (fused, decode_group_two_pass(b, meta)) {
+            (Ok(f), Ok((t, _))) => {
+                prop_assert_eq!(f.len(), t.len(), "block {} fused length diverged", i);
+                for (a, b) in f.iter().zip(&t) {
+                    prop_assert_eq!(a.to_bits(), b.to_bits(), "block {} fused != two-pass", i);
+                }
+            }
+            (Err(a), Err(b)) => {
+                prop_assert_eq!(a.kind, b.kind, "block {} error kind diverged", i)
+            }
+            (Ok(_), Err(e)) => prop_assert!(
+                false,
+                "block {i}: two-pass failed ({e}) where fused decoded"
+            ),
+            (Err(e), Ok(_)) => prop_assert!(
+                false,
+                "block {i}: fused failed ({e}) where two-pass decoded"
+            ),
+        }
+    }
     let first_err = seq
         .iter()
         .enumerate()
